@@ -1,0 +1,65 @@
+// Ablation: the fan-in/fan-out convention behind the classical formulas.
+//
+// The paper never states what tensor shape its initializers saw. This
+// ablation reruns the Fig 5a experiment under both conventions qbarren
+// implements:
+//   * layer-tensor (default): fan_in = params per layer, fan_out = layers.
+//     On deep variance circuits fan_out dominates Xavier's denominator,
+//     separating Xavier (~2/layers) from He/LeCun (~1/qubits) — the
+//     separation the paper reports.
+//   * qubit-square: fan_in = fan_out = qubit count. Xavier's variance
+//     becomes 1/q — identical to LeCun's — and the Xavier advantage
+//     disappears, which is evidence the authors did *not* use this shape.
+#include "bench_common.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/table.hpp"
+#include "qbarren/init/registry.hpp"
+
+namespace {
+
+void reproduce() {
+  using namespace qbarren;
+  bench::print_banner(
+      "Ablation — fan-mode convention (layer-tensor vs qubit-square)",
+      "Q = {2,4,6,8,10}, 100 circuits/point, depth 50, global cost");
+
+  Table table({"fan mode", "xavier-normal [%]", "he [%]", "lecun [%]",
+               "orthogonal [%]"});
+  for (const FanMode mode :
+       {FanMode::kLayerTensor, FanMode::kQubitSquare}) {
+    VarianceExperimentOptions options;
+    options.circuits_per_point = 100;
+    const VarianceResult result =
+        VarianceExperiment(options).run_paper_set(mode);
+    table.begin_row();
+    table.push(fan_mode_name(mode));
+    table.push(result.improvement_percent("xavier-normal"), 1);
+    table.push(result.improvement_percent("he"), 1);
+    table.push(result.improvement_percent("lecun"), 1);
+    table.push(result.improvement_percent("orthogonal"), 1);
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf(
+      "expected: only the layer-tensor convention separates Xavier from\n"
+      "the He/LeCun/Orthogonal cluster the way the paper reports.\n\n");
+}
+
+void bm_fan_computation(benchmark::State& state) {
+  using namespace qbarren;
+  Rng rng(1);
+  VarianceAnsatzOptions options;
+  options.layers = 50;
+  const Circuit circuit = variance_ansatz(10, rng, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_fans(circuit, FanMode::kLayerTensor).fan_in);
+  }
+}
+BENCHMARK(bm_fan_computation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return qbarren::bench::run_bench_main(argc, argv, reproduce);
+}

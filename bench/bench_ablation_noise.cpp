@@ -1,0 +1,94 @@
+// Ablation: barren plateaus under hardware noise (NISQ context of §I).
+//
+// Reruns a reduced variance analysis on the exact density-matrix simulator
+// with a uniform depolarizing noise model. Depolarizing channels contract
+// expectation values toward a constant, so gradients shrink *on top of*
+// the unitary barren-plateau decay (cf. noise-induced barren plateaus,
+// Wang et al. 2021): classical initialization strategies cannot recover
+// what noise destroys.
+//
+// Density-matrix simulation is O(4^n) per gate, so this ablation runs at
+// reduced width/depth/sample counts.
+#include "bench_common.hpp"
+#include "qbarren/bp/cost_kind.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/stats.hpp"
+#include "qbarren/common/table.hpp"
+#include "qbarren/dsim/noisy.hpp"
+#include "qbarren/init/registry.hpp"
+
+namespace {
+
+using namespace qbarren;
+
+double noisy_gradient_variance(std::size_t qubits, std::size_t layers,
+                               std::size_t circuits, const NoiseModel& noise,
+                               const Initializer& init) {
+  const GlobalZeroObservable obs(qubits);
+  std::vector<double> grads(circuits);
+  const Rng root(42);
+  for (std::size_t i = 0; i < circuits; ++i) {
+    const Rng circuit_stream = root.child(i);
+    Rng structure_rng = circuit_stream.child(0);
+    VarianceAnsatzOptions options;
+    options.layers = layers;
+    const Circuit circuit = variance_ansatz(qubits, structure_rng, options);
+    Rng param_rng = circuit_stream.child(1);
+    const auto params = init.initialize(circuit, param_rng);
+    grads[i] = noisy_parameter_shift_partial(
+        circuit, params, obs, noise, circuit.num_parameters() - 1);
+  }
+  return sample_variance(grads);
+}
+
+void reproduce() {
+  bench::print_banner(
+      "Ablation — gradient variance under depolarizing noise",
+      "density-matrix simulation, Q = {2,3,4}, depth 8, 20 circuits/point,\n"
+      "global cost, random + xavier-normal initialization");
+
+  const std::vector<double> noise_levels{0.0, 0.01, 0.05};
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+
+  Table table({"qubits", "noise p", "Var[random]", "Var[xavier-normal]"});
+  for (const std::size_t q : {2u, 3u, 4u}) {
+    for (const double p : noise_levels) {
+      const NoiseModel noise =
+          p > 0.0 ? make_depolarizing_model(p, p) : NoiseModel{};
+      table.begin_row();
+      table.push(q);
+      table.push(p, 2);
+      table.push_sci(noisy_gradient_variance(q, 8, 20, noise, *random));
+      table.push_sci(noisy_gradient_variance(q, 8, 20, noise, *xavier));
+    }
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf(
+      "expected shape: at every width, variance falls as noise grows —\n"
+      "noise compounds the plateau and affects every initializer.\n\n");
+}
+
+void bm_noisy_simulation(benchmark::State& state) {
+  const auto q = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  VarianceAnsatzOptions options;
+  options.layers = 8;
+  const Circuit circuit = variance_ansatz(q, rng, options);
+  const auto params =
+      rng.uniform_vector(circuit.num_parameters(), 0.0, 6.0);
+  const NoiseModel noise = make_depolarizing_model(0.01, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_noisy(circuit, params, noise).trace());
+  }
+  state.SetLabel("density matrix, depth 8");
+}
+BENCHMARK(bm_noisy_simulation)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return qbarren::bench::run_bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the benchmark / reproduction harnesses.
+//
+// Each bench binary reproduces one figure or table of the paper: it prints
+// the regenerated rows/series to stdout (the reproduction payload), then
+// runs any registered google-benchmark timings of the kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace qbarren::bench {
+
+inline void print_banner(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// Prints the reproduction payload via `reproduce`, then runs registered
+/// google-benchmark timings. Returns a main()-compatible exit code.
+template <typename Fn>
+int run_bench_main(int argc, char** argv, Fn&& reproduce) {
+  try {
+    reproduce();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "reproduction failed: %s\n", e.what());
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace qbarren::bench

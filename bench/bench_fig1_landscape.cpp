@@ -1,0 +1,55 @@
+// Fig 1 reproduction: barren-plateau landscape flattening.
+//
+// The paper's Fig 1 plots the cost surface of a depth-100 HEA (RX, RY per
+// qubit + CZ ladder) over two parameters at 2, 5, and 10 qubits, showing
+// the landscape flattening as width grows. This harness regenerates the
+// three scans and prints the flatness metrics (range / stddev of the cost
+// over the grid); the paper's qualitative claim corresponds to both
+// metrics shrinking monotonically with qubit count.
+#include "bench_common.hpp"
+#include "qbarren/bp/landscape.hpp"
+
+namespace {
+
+void reproduce() {
+  using namespace qbarren;
+  bench::print_banner(
+      "Fig 1 — optimization landscape vs qubit count",
+      "depth-100 HEA, identity cost, 21x21 scan of the first two "
+      "parameters,\nrandom background parameters (seed 1)");
+
+  LandscapeOptions base;
+  base.layers = 100;
+  base.grid_points = 21;
+  base.seed = 1;
+
+  const std::vector<std::size_t> widths{2, 5, 10};
+  std::printf("%s\n",
+              landscape_flatness_table(widths, base).to_ascii().c_str());
+  std::printf(
+      "expected shape (paper): surface visibly flattens from (a) 2 qubits\n"
+      "to (c) 10 qubits; here both range and stddev must fall "
+      "monotonically.\n\n");
+}
+
+void bm_landscape_scan(benchmark::State& state) {
+  using namespace qbarren;
+  LandscapeOptions options;
+  options.qubits = static_cast<std::size_t>(state.range(0));
+  options.layers = 100;
+  options.grid_points = 5;
+  options.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_landscape(options).range);
+  }
+  state.SetLabel(std::to_string(options.grid_points) + "x" +
+                 std::to_string(options.grid_points) + " grid");
+}
+BENCHMARK(bm_landscape_scan)->Arg(2)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return qbarren::bench::run_bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,84 @@
+// Micro-benchmarks of the gradient engines: full-gradient cost as a
+// function of parameter count. Parameter-shift scales as 2P circuit
+// simulations; adjoint as a constant number of sweeps — the reason the
+// training experiments default to adjoint while the variance analysis
+// (one partial derivative per circuit) uses parameter-shift like the
+// paper.
+#include "bench_common.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/obs/observable.hpp"
+
+namespace {
+
+using namespace qbarren;
+
+struct Setup {
+  Circuit circuit;
+  GlobalZeroObservable observable;
+  std::vector<double> params;
+
+  explicit Setup(std::size_t qubits, std::size_t layers)
+      : circuit(make_circuit(qubits, layers)), observable(qubits) {
+    Rng rng(5);
+    params = rng.uniform_vector(circuit.num_parameters(), 0.0, 2.0 * M_PI);
+  }
+
+  static Circuit make_circuit(std::size_t qubits, std::size_t layers) {
+    TrainingAnsatzOptions options;
+    options.layers = layers;
+    return training_ansatz(qubits, options);
+  }
+};
+
+void bm_full_gradient(benchmark::State& state, const char* engine_name) {
+  const Setup setup(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  const auto engine = make_gradient_engine(engine_name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->gradient(setup.circuit, setup.observable, setup.params)
+            .data());
+  }
+  state.SetLabel(std::to_string(setup.circuit.num_parameters()) + " params");
+}
+
+void bm_parameter_shift(benchmark::State& state) {
+  bm_full_gradient(state, "parameter-shift");
+}
+void bm_adjoint(benchmark::State& state) { bm_full_gradient(state, "adjoint"); }
+void bm_finite_difference(benchmark::State& state) {
+  bm_full_gradient(state, "finite-difference");
+}
+void bm_spsa(benchmark::State& state) { bm_full_gradient(state, "spsa"); }
+
+BENCHMARK(bm_parameter_shift)
+    ->Args({4, 2})->Args({8, 4})->Args({10, 5})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_adjoint)
+    ->Args({4, 2})->Args({8, 4})->Args({10, 5})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_finite_difference)
+    ->Args({4, 2})->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_spsa)
+    ->Args({4, 2})->Args({10, 5})
+    ->Unit(benchmark::kMillisecond);
+
+void bm_single_partial_parameter_shift(benchmark::State& state) {
+  // The variance experiment's unit of work: one partial derivative of the
+  // last parameter.
+  const Setup setup(static_cast<std::size_t>(state.range(0)), 5);
+  const ParameterShiftEngine engine;
+  const std::size_t last = setup.circuit.num_parameters() - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.partial(setup.circuit, setup.observable, setup.params, last));
+  }
+}
+BENCHMARK(bm_single_partial_parameter_shift)->Arg(4)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the state-vector simulator kernels that dominate the
+// reproduction workload. No reproduction payload — pure google-benchmark.
+#include "bench_common.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/qsim/gates.hpp"
+#include "qbarren/qsim/statevector.hpp"
+
+namespace {
+
+using namespace qbarren;
+
+void bm_single_qubit_gate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector s(n);
+  const ComplexMatrix u = gates::ry(0.3);
+  std::size_t target = 0;
+  for (auto _ : state) {
+    s.apply_single_qubit(u, target);
+    target = (target + 1) % n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+}
+BENCHMARK(bm_single_qubit_gate)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
+
+void bm_cz_gate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector s(n);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    s.apply_cz(q, q + 1);
+    q = (q + 1) % (n - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+}
+BENCHMARK(bm_cz_gate)->Arg(4)->Arg(10)->Arg(16)->Arg(20);
+
+void bm_two_qubit_generic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector s(n);
+  const ComplexMatrix u = gates::crz(0.7);
+  for (auto _ : state) {
+    s.apply_two_qubit(u, 0, n - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.dimension()));
+}
+BENCHMARK(bm_two_qubit_generic)->Arg(4)->Arg(10)->Arg(16);
+
+void bm_simulate_training_ansatz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TrainingAnsatzOptions options;
+  options.layers = 5;
+  const Circuit circuit = training_ansatz(n, options);
+  Rng rng(1);
+  const auto params =
+      rng.uniform_vector(circuit.num_parameters(), 0.0, 2.0 * M_PI);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.simulate(params).norm_squared());
+  }
+  state.SetLabel(std::to_string(circuit.num_operations()) + " gates");
+}
+BENCHMARK(bm_simulate_training_ansatz)->Arg(4)->Arg(10)->Arg(14)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_simulate_deep_variance_ansatz(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng structure_rng(2);
+  VarianceAnsatzOptions options;
+  options.layers = 50;
+  const Circuit circuit = variance_ansatz(n, structure_rng, options);
+  Rng rng(3);
+  const auto params =
+      rng.uniform_vector(circuit.num_parameters(), 0.0, 2.0 * M_PI);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.simulate(params).norm_squared());
+  }
+  state.SetLabel(std::to_string(circuit.num_operations()) + " gates");
+}
+BENCHMARK(bm_simulate_deep_variance_ansatz)->Arg(4)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_probability_readout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  StateVector s(n);
+  s.apply_single_qubit(gates::hadamard(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.probability_one(0));
+  }
+}
+BENCHMARK(bm_probability_readout)->Arg(10)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Cost-landscape scan (paper Fig 1): renders an ASCII heat map of the
+// identity cost over two parameters of a deep HEA and prints flatness
+// metrics across qubit counts — the landscape visibly flattens as the
+// width grows.
+//
+// Run: ./landscape [--qubits 2,5,10] [--layers 100] [--grid 21] [--seed 1]
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "qbarren/bp/landscape.hpp"
+#include "qbarren/common/cli.hpp"
+
+namespace {
+
+// Maps the grid to a coarse character ramp; '#' = high cost, ' ' = low.
+void print_heatmap(const qbarren::LandscapeResult& result) {
+  static const std::string ramp = " .:-=+*%@#";
+  const std::size_t n = result.options.grid_points;
+  const double lo = result.min_value;
+  const double span = std::max(result.range, 1e-12);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string line;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double t = (result.value_at(i, j) - lo) / span;
+      const auto idx = static_cast<std::size_t>(
+          t * static_cast<double>(ramp.size() - 1) + 0.5);
+      line += ramp[std::min(idx, ramp.size() - 1)];
+      line += ramp[std::min(idx, ramp.size() - 1)];
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const qbarren::CliArgs args(argc, argv,
+                                {"qubits", "layers", "grid", "seed"});
+
+    qbarren::LandscapeOptions base;
+    base.layers = static_cast<std::size_t>(args.get_int("layers", 100));
+    base.grid_points = static_cast<std::size_t>(args.get_int("grid", 21));
+    base.seed = args.get_uint("seed", 1);
+
+    std::vector<std::size_t> qubit_counts;
+    for (int q : args.get_int_list("qubits", {2, 5, 10})) {
+      qubit_counts.push_back(static_cast<std::size_t>(q));
+    }
+
+    for (std::size_t q : qubit_counts) {
+      qbarren::LandscapeOptions options = base;
+      options.qubits = q;
+      const qbarren::LandscapeResult result = qbarren::scan_landscape(options);
+      std::printf("\n%zu qubits (depth %zu): range %.4f, stddev %.4f\n", q,
+                  options.layers, result.range, result.stddev);
+      print_heatmap(result);
+    }
+
+    std::printf("\nflatness metrics (cost range shrinks with width => "
+                "barren plateau):\n%s",
+                qbarren::landscape_flatness_table(qubit_counts, base)
+                    .to_ascii()
+                    .c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

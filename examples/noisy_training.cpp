@@ -1,0 +1,91 @@
+// Training under depolarizing noise — the exact density-matrix simulator
+// in action.
+//
+// Trains a small identity-learning PQC with Xavier initialization at
+// several depolarizing strengths. Gradients use the parameter-shift rule
+// on the *noisy* expectation (still exact — noise channels carry no
+// trainable parameter). Two effects appear as noise grows: the achievable
+// loss floor rises (the state cannot stay pure), and convergence slows
+// (gradients contract).
+//
+// Run: ./noisy_training [--qubits 3] [--layers 2] [--iterations 25]
+//                       [--seed 9] [--noise 0.0,0.01,0.05]
+#include <cstdio>
+#include <exception>
+
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/cli.hpp"
+#include "qbarren/dsim/noisy.hpp"
+#include "qbarren/init/registry.hpp"
+#include "qbarren/opt/optimizers.hpp"
+
+namespace {
+
+// Full parameter-shift gradient of the noisy cost.
+std::vector<double> noisy_gradient(const qbarren::Circuit& circuit,
+                                   const std::vector<double>& params,
+                                   const qbarren::Observable& obs,
+                                   const qbarren::NoiseModel& noise) {
+  std::vector<double> grad(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    grad[i] = qbarren::noisy_parameter_shift_partial(circuit, params, obs,
+                                                     noise, i);
+  }
+  return grad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    using namespace qbarren;
+    const CliArgs args(argc, argv,
+                       {"qubits", "layers", "iterations", "seed"});
+    const auto qubits = static_cast<std::size_t>(args.get_int("qubits", 3));
+    const auto layers = static_cast<std::size_t>(args.get_int("layers", 2));
+    const auto iterations =
+        static_cast<std::size_t>(args.get_int("iterations", 25));
+    const std::uint64_t seed = args.get_uint("seed", 9);
+
+    TrainingAnsatzOptions ansatz_options;
+    ansatz_options.layers = layers;
+    const Circuit circuit = training_ansatz(qubits, ansatz_options);
+    const GlobalZeroObservable obs(qubits);
+    const auto init = make_initializer("xavier-normal");
+
+    std::printf("noisy identity training: %zu qubits, %zu layers, "
+                "%zu iterations (Adam, lr 0.1)\n\n",
+                qubits, layers, iterations);
+
+    for (const double p : {0.0, 0.01, 0.05}) {
+      const NoiseModel noise =
+          p > 0.0 ? make_depolarizing_model(p, p) : NoiseModel{};
+      Rng rng(seed);
+      std::vector<double> params = init->initialize(circuit, rng);
+      AdamOptimizer optimizer(0.1);
+      optimizer.reset(params.size());
+
+      double loss = noisy_expectation(circuit, params, obs, noise);
+      std::printf("depolarizing p = %.2f: initial loss %.6f\n", p, loss);
+      for (std::size_t it = 0; it < iterations; ++it) {
+        const auto grad = noisy_gradient(circuit, params, obs, noise);
+        optimizer.step(params, grad);
+        loss = noisy_expectation(circuit, params, obs, noise);
+        if ((it + 1) % 5 == 0) {
+          std::printf("  iter %3zu  loss %.6f\n", it + 1, loss);
+        }
+      }
+      const DensityMatrix rho = simulate_noisy(circuit, params, noise);
+      std::printf("  final loss %.6f, state purity %.4f\n\n", loss,
+                  rho.purity());
+    }
+    std::printf(
+        "reading: the loss floor rises and purity falls with noise —\n"
+        "initialization cannot repair decoherence, only the unitary "
+        "landscape.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,188 @@
+// Unified command-line driver for every qbarren experiment.
+//
+// Usage:
+//   qbarren_cli variance   [--qubits 2,4,6,8,10] [--circuits 200]
+//                          [--layers 50] [--seed 42] [--json out.json]
+//   qbarren_cli train      [--optimizer adam] [--qubits 10] [--layers 5]
+//                          [--iterations 50] [--json out.json]
+//   qbarren_cli sweep      [--repetitions 5] [--optimizer adam] ...
+//   qbarren_cli landscape  [--qubits 2,5,10] [--layers 100] [--grid 21]
+//   qbarren_cli express    [--qubits 4] [--layers 5] [--pairs 300]
+//   qbarren_cli lightcone  [--qubits 6] [--layers 10]
+// Run with no arguments for this help text.
+#include <cstdio>
+#include <exception>
+
+#include "qbarren/bp/expressibility.hpp"
+#include "qbarren/bp/landscape.hpp"
+#include "qbarren/bp/lightcone.hpp"
+#include "qbarren/bp/serialize.hpp"
+#include "qbarren/bp/training.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/common/cli.hpp"
+#include "qbarren/common/version.hpp"
+#include "qbarren/init/registry.hpp"
+
+namespace {
+
+using namespace qbarren;
+
+std::vector<const Initializer*> borrow(
+    const std::vector<std::unique_ptr<Initializer>>& owned) {
+  std::vector<const Initializer*> ptrs;
+  for (const auto& init : owned) {
+    ptrs.push_back(init.get());
+  }
+  return ptrs;
+}
+
+int cmd_variance(const CliArgs& args) {
+  VarianceExperimentOptions options;
+  options.qubit_counts.clear();
+  for (int q : args.get_int_list("qubits", {2, 4, 6, 8, 10})) {
+    options.qubit_counts.push_back(static_cast<std::size_t>(q));
+  }
+  options.circuits_per_point =
+      static_cast<std::size_t>(args.get_int("circuits", 200));
+  options.layers = static_cast<std::size_t>(args.get_int("layers", 50));
+  options.seed = args.get_uint("seed", 42);
+  options.cost = cost_kind_from_name(args.get_string("cost", "global"));
+
+  const VarianceResult result =
+      VarianceExperiment(options).run_paper_set();
+  std::printf("%s\n%s", result.variance_table().to_ascii().c_str(),
+              result.decay_table().to_ascii().c_str());
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "variance.json");
+    write_json_file(to_json(result), path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+TrainingExperimentOptions training_options_from(const CliArgs& args) {
+  TrainingExperimentOptions options;
+  options.optimizer = args.get_string("optimizer", "gradient-descent");
+  options.qubits = static_cast<std::size_t>(args.get_int("qubits", 10));
+  options.layers = static_cast<std::size_t>(args.get_int("layers", 5));
+  options.iterations =
+      static_cast<std::size_t>(args.get_int("iterations", 50));
+  options.learning_rate = args.get_double("lr", 0.1);
+  options.seed = args.get_uint("seed", 7);
+  return options;
+}
+
+int cmd_train(const CliArgs& args) {
+  const TrainingExperimentOptions options = training_options_from(args);
+  const TrainingResult result =
+      TrainingExperiment(options).run_paper_set();
+  std::printf("%s\n%s", result.loss_table(5).to_ascii().c_str(),
+              result.summary_table().to_ascii().c_str());
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "training.json");
+    write_json_file(to_json(result), path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  TrainingSweepOptions options;
+  options.base = training_options_from(args);
+  options.repetitions =
+      static_cast<std::size_t>(args.get_int("repetitions", 5));
+  const auto owned = paper_initializers();
+  const TrainingSweepResult result =
+      run_training_sweep(borrow(owned), options);
+  std::printf("%s", result.summary_table().to_ascii().c_str());
+  return 0;
+}
+
+int cmd_landscape(const CliArgs& args) {
+  LandscapeOptions base;
+  base.layers = static_cast<std::size_t>(args.get_int("layers", 100));
+  base.grid_points = static_cast<std::size_t>(args.get_int("grid", 21));
+  base.seed = args.get_uint("seed", 1);
+  std::vector<std::size_t> widths;
+  for (int q : args.get_int_list("qubits", {2, 5, 10})) {
+    widths.push_back(static_cast<std::size_t>(q));
+  }
+  std::printf("%s", landscape_flatness_table(widths, base).to_ascii().c_str());
+  if (args.has("json")) {
+    LandscapeOptions single = base;
+    single.qubits = widths.front();
+    const std::string path = args.get_string("json", "landscape.json");
+    write_json_file(to_json(scan_landscape(single)), path);
+    std::printf("wrote %s (first width only)\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_express(const CliArgs& args) {
+  ExpressibilityOptions options;
+  options.qubits = static_cast<std::size_t>(args.get_int("qubits", 4));
+  options.layers = static_cast<std::size_t>(args.get_int("layers", 5));
+  options.pairs = static_cast<std::size_t>(args.get_int("pairs", 300));
+  options.seed = args.get_uint("seed", 17);
+  const auto owned = paper_initializers();
+  const auto results = analyze_expressibility(borrow(owned), options);
+  std::printf("%s", expressibility_table(results).to_ascii().c_str());
+  return 0;
+}
+
+int cmd_lightcone(const CliArgs& args) {
+  const auto qubits = static_cast<std::size_t>(args.get_int("qubits", 6));
+  const auto layers = static_cast<std::size_t>(args.get_int("layers", 10));
+  Rng rng(args.get_uint("seed", 1));
+  VarianceAnsatzOptions options;
+  options.layers = layers;
+  const Circuit c = variance_ansatz(qubits, rng, options);
+
+  std::vector<std::pair<std::string, LightConeReport>> reports;
+  std::vector<std::size_t> all;
+  for (std::size_t q = 0; q < qubits; ++q) {
+    all.push_back(q);
+  }
+  reports.emplace_back("global cost (all qubits)",
+                       analyze_light_cone(c, all));
+  reports.emplace_back("Z0 Z1 observable", analyze_light_cone(c, {0, 1}));
+  reports.emplace_back("Z0 observable", analyze_light_cone(c, {0}));
+  std::printf("%s", light_cone_table(reports).to_ascii().c_str());
+  return 0;
+}
+
+void print_help() {
+  std::printf(
+      "qbarren %s — barren-plateau experiments\n"
+      "subcommands: variance | train | sweep | landscape | express | "
+      "lightcone\n"
+      "see the header of examples/qbarren_cli.cpp for per-command "
+      "options.\n",
+      kVersionString);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      print_help();
+      return 0;
+    }
+    const std::string command = argv[1];
+    const CliArgs args(argc - 1, argv + 1);
+    if (command == "variance") return cmd_variance(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "landscape") return cmd_landscape(args);
+    if (command == "express") return cmd_express(args);
+    if (command == "lightcone") return cmd_lightcone(args);
+    print_help();
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n",
+                 command.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,59 @@
+// Training analysis (paper Fig 5b/5c): trains the 10-qubit, 5-layer Eq 3
+// ansatz to learn the identity function under every paper initializer and
+// prints the loss curves.
+//
+// Run: ./train_identity [--optimizer adam] [--qubits 10] [--layers 5]
+//                       [--iterations 50] [--lr 0.1] [--seed 7]
+#include <cstdio>
+#include <exception>
+
+#include "qbarren/bp/serialize.hpp"
+#include "qbarren/bp/training.hpp"
+#include "qbarren/common/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const qbarren::CliArgs args(argc, argv,
+                                {"optimizer", "qubits", "layers", "iterations",
+                                 "lr", "seed", "engine", "stride", "csv",
+                                 "json"});
+
+    qbarren::TrainingExperimentOptions options;
+    options.optimizer = args.get_string("optimizer", "gradient-descent");
+    options.qubits = static_cast<std::size_t>(args.get_int("qubits", 10));
+    options.layers = static_cast<std::size_t>(args.get_int("layers", 5));
+    options.iterations =
+        static_cast<std::size_t>(args.get_int("iterations", 50));
+    options.learning_rate = args.get_double("lr", 0.1);
+    options.seed = args.get_uint("seed", 7);
+    options.gradient_engine = args.get_string("engine", "adjoint");
+
+    std::printf(
+        "training analysis: %zu qubits, %zu layers, %zu iterations, "
+        "optimizer=%s, lr=%.3f\n\n",
+        options.qubits, options.layers, options.iterations,
+        options.optimizer.c_str(), options.learning_rate);
+
+    const qbarren::TrainingExperiment experiment(options);
+    const qbarren::TrainingResult result = experiment.run_paper_set();
+
+    const auto stride = static_cast<std::size_t>(args.get_int("stride", 5));
+    std::printf("%s\n", result.loss_table(stride).to_ascii().c_str());
+    std::printf("%s\n", result.summary_table().to_ascii().c_str());
+
+    if (args.has("csv")) {
+      const std::string path = args.get_string("csv", "training.csv");
+      result.loss_table(1).write_csv(path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    if (args.has("json")) {
+      const std::string path = args.get_string("json", "training.json");
+      qbarren::write_json_file(qbarren::to_json(result), path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+// Gradient-variance analysis (paper Fig 5a, scaled down by default so it
+// finishes in seconds; pass --circuits 200 --layers 100 --qubits
+// 2,4,6,8,10 for the paper's full configuration).
+//
+// Prints the variance-vs-qubits table, the fitted decay rates, and each
+// strategy's improvement over random initialization.
+#include <cstdio>
+#include <exception>
+
+#include "qbarren/bp/serialize.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/common/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const qbarren::CliArgs args(
+        argc, argv,
+        {"qubits", "circuits", "layers", "seed", "cost", "engine", "csv",
+         "json"});
+
+    qbarren::VarianceExperimentOptions options;
+    options.qubit_counts.clear();
+    for (int q : args.get_int_list("qubits", {2, 4, 6, 8})) {
+      options.qubit_counts.push_back(static_cast<std::size_t>(q));
+    }
+    options.circuits_per_point =
+        static_cast<std::size_t>(args.get_int("circuits", 50));
+    options.layers = static_cast<std::size_t>(args.get_int("layers", 40));
+    options.seed = args.get_uint("seed", 42);
+    options.cost =
+        qbarren::cost_kind_from_name(args.get_string("cost", "global"));
+    options.gradient_engine = args.get_string("engine", "parameter-shift");
+
+    std::printf(
+        "variance analysis: %zu circuits/point, %zu layers, cost=%s, "
+        "engine=%s\n\n",
+        options.circuits_per_point, options.layers,
+        qbarren::cost_kind_name(options.cost).c_str(),
+        options.gradient_engine.c_str());
+
+    const qbarren::VarianceExperiment experiment(options);
+    const qbarren::VarianceResult result = experiment.run_paper_set();
+
+    std::printf("%s\n", result.variance_table().to_ascii().c_str());
+    std::printf("%s\n", result.decay_table().to_ascii().c_str());
+
+    if (args.has("csv")) {
+      const std::string path = args.get_string("csv", "variance.csv");
+      result.variance_table().write_csv(path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    if (args.has("json")) {
+      const std::string path = args.get_string("json", "variance.json");
+      qbarren::write_json_file(qbarren::to_json(result), path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

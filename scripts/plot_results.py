@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Plot qbarren experiment JSON exports (Fig 5a/5b/5c/Fig 1 equivalents).
+
+Usage:
+    # generate the data
+    build/examples/variance_analysis --qubits 2,4,6,8,10 --circuits 200 \
+        --layers 50 --json variance.json
+    build/examples/train_identity --optimizer adam --json training.json
+    build/examples/qbarren_cli landscape --json landscape.json
+
+    # plot it
+    python3 scripts/plot_results.py variance.json training.json landscape.json
+
+Each input file is dispatched on its "schema" field and saved as
+<input>.png next to the input. Requires matplotlib.
+"""
+
+import json
+import sys
+
+
+def plot_variance(data, out_path, plt):
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for series in data["series"]:
+        qubits = [p["qubits"] for p in series["points"]]
+        variances = [p["variance"] for p in series["points"]]
+        ax.semilogy(qubits, variances, marker="o",
+                    label=series["initializer"])
+    ax.set_xlabel("qubits")
+    ax.set_ylabel("Var[dC/dθ_last]")
+    ax.set_title("Gradient variance decay (Fig 5a protocol)")
+    ax.legend(fontsize=8)
+    ax.grid(True, which="both", alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def plot_training(data, out_path, plt):
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for series in data["series"]:
+        ax.plot(series["loss_history"], label=series["initializer"])
+    opts = data["options"]
+    ax.set_xlabel("iteration")
+    ax.set_ylabel("loss (1 - p|0...0>)")
+    ax.set_title(f"Identity training, {opts['optimizer']}, "
+                 f"{opts['qubits']} qubits (Fig 5b/5c protocol)")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+def plot_landscape(data, out_path, plt):
+    import numpy as np
+    n = data["options"]["grid_points"]
+    grid = np.array(data["values_row_major"]).reshape(n, n)
+    axis = data["axis"]
+    fig, ax = plt.subplots(figsize=(5, 4))
+    im = ax.imshow(grid, origin="lower",
+                   extent=[axis[0], axis[-1], axis[0], axis[-1]],
+                   aspect="auto", cmap="viridis")
+    fig.colorbar(im, ax=ax, label="cost")
+    ax.set_xlabel("θ_b")
+    ax.set_ylabel("θ_a")
+    ax.set_title(f"Cost landscape, {data['options']['qubits']} qubits "
+                 "(Fig 1 protocol)")
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+DISPATCH = {
+    "qbarren.variance.v1": plot_variance,
+    "qbarren.training.v1": plot_training,
+    "qbarren.landscape.v1": plot_landscape,
+}
+
+
+def main(paths):
+    if not paths:
+        print(__doc__)
+        return 1
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        schema = data.get("schema")
+        plotter = DISPATCH.get(schema)
+        if plotter is None:
+            print(f"skipping {path}: unknown schema {schema!r}")
+            continue
+        plotter(data, path + ".png", plt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,27 @@
+// Cost-function selection shared by the bp experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "qbarren/obs/observable.hpp"
+
+namespace qbarren {
+
+enum class CostKind {
+  kGlobalZero,  ///< Eq 4: 1 - p(|0...0>) — the paper's cost
+  kLocalZero,   ///< Cerezo-style local cost (ablation)
+  kPauliZZ,     ///< <Z_0 Z_1> (McClean-style benchmark observable)
+};
+
+/// Instantiates the observable for a cost kind on `num_qubits` qubits.
+/// kPauliZZ requires num_qubits >= 2.
+[[nodiscard]] std::shared_ptr<Observable> make_cost_observable(
+    CostKind kind, std::size_t num_qubits);
+
+[[nodiscard]] std::string cost_kind_name(CostKind kind);
+
+/// Parses "global" / "local" / "zz"; throws NotFound otherwise.
+[[nodiscard]] CostKind cost_kind_from_name(const std::string& name);
+
+}  // namespace qbarren

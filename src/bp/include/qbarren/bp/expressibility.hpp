@@ -1,0 +1,66 @@
+// Expressibility and entanglement analysis of initialized ensembles
+// (Sim, Johnson & Aspuru-Guzik 2019, adapted to initialization studies).
+//
+// Expressibility measures how closely an ensemble of circuit states covers
+// the Haar distribution: sample parameter pairs from an initializer,
+// compute pairwise fidelities F = |<psi(a)|psi(b)>|^2, and take the KL
+// divergence of the empirical fidelity histogram from the Haar prediction
+// P_Haar(F) = (N-1)(1-F)^{N-2}. Low KL = Haar-like = expressive — and,
+// per the BP literature, plateau-prone; the classical initializers trade
+// expressibility-at-initialization for trainability, which this analysis
+// quantifies. The same sweep records the mean Meyer-Wallach entanglement
+// of the ensemble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qbarren/common/table.hpp"
+#include "qbarren/init/initializers.hpp"
+
+namespace qbarren {
+
+struct ExpressibilityOptions {
+  std::size_t qubits = 4;
+  std::size_t layers = 5;      ///< Eq 3 ansatz depth
+  std::size_t pairs = 300;     ///< sampled state pairs per initializer
+  std::size_t bins = 40;       ///< fidelity histogram resolution
+  std::uint64_t seed = 17;
+};
+
+struct ExpressibilityResult {
+  std::string initializer;
+  double kl_divergence = 0.0;      ///< KL(empirical || Haar); lower = more
+                                   ///< expressive
+  double mean_fidelity = 0.0;      ///< mean pairwise fidelity (Haar: 1/N)
+  double mean_entanglement = 0.0;  ///< mean Meyer-Wallach Q over samples
+  /// Second frame potential F_2 = E[F^2] — the quantity whose Haar value
+  /// 2/(N(N+1)) certifies a 2-design, the exact hypothesis of McClean et
+  /// al.'s barren-plateau theorem. frame_potential_ratio = F_2 / F_2^Haar
+  /// >= 1, with ratio -> 1 meaning "plateau theorem applies".
+  double frame_potential_2 = 0.0;
+  double frame_potential_ratio = 0.0;
+};
+
+/// Haar value of the t-th frame potential on an N-dimensional space:
+/// t! (N-1)! / (N+t-1)! (= product_{k=0}^{t-1} (k+1)/(N+k)).
+[[nodiscard]] double haar_frame_potential(std::size_t t,
+                                          std::size_t dimension);
+
+/// Runs the analysis for each initializer on the Eq 3 ansatz.
+[[nodiscard]] std::vector<ExpressibilityResult> analyze_expressibility(
+    const std::vector<const Initializer*>& initializers,
+    const ExpressibilityOptions& options = {});
+
+/// Tabulates analyze_expressibility results.
+[[nodiscard]] Table expressibility_table(
+    const std::vector<ExpressibilityResult>& results);
+
+/// Probability mass the Haar fidelity distribution assigns to
+/// [f_lo, f_hi] on an N-dimensional space:
+/// (1 - f_lo)^{N-1} - (1 - f_hi)^{N-1}.
+[[nodiscard]] double haar_fidelity_mass(double f_lo, double f_hi,
+                                        std::size_t dimension);
+
+}  // namespace qbarren

@@ -1,0 +1,41 @@
+// Light-cone (causal support) analysis of parameter gradients.
+//
+// The gradient of parameter k vanishes *identically* — for every parameter
+// value — when the observable, conjugated backward through every gate
+// after gate k, acts trivially on gate k's qubit:
+//   dC/dtheta_k = (i/2) <psi_{k}| [P_k, U_after^dag H U_after] |psi_k> = 0
+// whenever the backward-propagated support of H misses qubit(k).
+//
+// This module computes a conservative backward support propagation (any
+// two-qubit gate merges the supports of its qubits; single-qubit gates
+// preserve support) and flags structurally dead parameters. The effect is
+// real in the paper's protocol: differentiating the *last* parameter of an
+// Eq-2 circuit against a Z0 Z1 observable measures exactly zero for q > 2
+// (see bench_ablation_cost_locality).
+#pragma once
+
+#include <vector>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/common/table.hpp"
+
+namespace qbarren {
+
+struct LightConeReport {
+  /// alive[k] == true when parameter k's gradient is NOT structurally
+  /// zero under the analyzed observable support.
+  std::vector<bool> alive;
+  std::size_t dead_count = 0;
+};
+
+/// Analyzes which parameters can have non-zero gradients for an observable
+/// supported on `observable_qubits` (e.g. {0, 1} for Z0 Z1; every qubit
+/// for the global cost). Conservative: alive = "possibly non-zero".
+[[nodiscard]] LightConeReport analyze_light_cone(
+    const Circuit& circuit, const std::vector<std::size_t>& observable_qubits);
+
+/// Tabulates dead-parameter counts for an observable across circuits.
+[[nodiscard]] Table light_cone_table(
+    const std::vector<std::pair<std::string, LightConeReport>>& reports);
+
+}  // namespace qbarren

@@ -1,0 +1,25 @@
+// JSON export of experiment results for downstream plotting.
+//
+// Schemas are stable and versioned by the top-level "schema" field; all
+// options that shaped the run are embedded so a JSON file is
+// self-describing.
+#pragma once
+
+#include "qbarren/bp/landscape.hpp"
+#include "qbarren/bp/training.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/common/json.hpp"
+
+namespace qbarren {
+
+/// Fig 5a data: options, per-initializer points, decay fits,
+/// improvements vs random when present.
+[[nodiscard]] JsonValue to_json(const VarianceResult& result);
+
+/// Fig 5b/5c data: options and per-initializer loss histories.
+[[nodiscard]] JsonValue to_json(const TrainingResult& result);
+
+/// Fig 1 data: options, axis, row-major grid, flatness metrics.
+[[nodiscard]] JsonValue to_json(const LandscapeResult& result);
+
+}  // namespace qbarren

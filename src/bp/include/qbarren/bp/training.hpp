@@ -1,0 +1,103 @@
+// Training analysis (paper §IV-D / §V / Fig 5b-c).
+//
+// Trains the Eq 3 hardware-efficient ansatz (RX+RY per qubit per layer, CZ
+// ladder) to learn the identity function under the Eq 4 global cost, once
+// per initializer, with a fixed iteration budget. The loss curves are the
+// paper's Fig 5b (gradient descent) and Fig 5c (Adam).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qbarren/bp/cost_kind.hpp"
+#include "qbarren/common/stats.hpp"
+#include "qbarren/common/table.hpp"
+#include "qbarren/init/initializers.hpp"
+#include "qbarren/opt/trainer.hpp"
+
+namespace qbarren {
+
+struct TrainingExperimentOptions {
+  std::size_t qubits = 10;      ///< paper's width
+  std::size_t layers = 5;       ///< paper's depth (145 gates, 100 params)
+  std::size_t iterations = 50;  ///< paper's budget
+  double learning_rate = 0.1;   ///< paper's step size
+  std::string optimizer = "gradient-descent";  ///< or "adam" (Fig 5c)
+  /// Engine for the training gradient. "adjoint" computes the exact same
+  /// gradients as the paper's parameter-shift at a fraction of the cost;
+  /// set "parameter-shift" to match the paper's mechanics literally.
+  std::string gradient_engine = "adjoint";
+  CostKind cost = CostKind::kGlobalZero;
+  std::uint64_t seed = 7;
+};
+
+struct TrainingSeries {
+  std::string initializer;
+  TrainResult result;
+};
+
+struct TrainingResult {
+  std::vector<TrainingSeries> series;
+  TrainingExperimentOptions options;
+
+  /// Loss-vs-iteration table (Fig 5b/5c data): one row per recorded
+  /// iteration (subsampled by `stride`), one column per initializer.
+  [[nodiscard]] Table loss_table(std::size_t stride = 1) const;
+
+  /// Final-loss summary: initializer, initial loss, final loss, loss drop.
+  [[nodiscard]] Table summary_table() const;
+
+  [[nodiscard]] const TrainingSeries& find(
+      const std::string& initializer) const;
+};
+
+class TrainingExperiment {
+ public:
+  explicit TrainingExperiment(TrainingExperimentOptions options);
+
+  [[nodiscard]] TrainingResult run(
+      const std::vector<const Initializer*>& initializers) const;
+
+  [[nodiscard]] TrainingResult run_paper_set(
+      FanMode mode = FanMode::kLayerTensor) const;
+
+  [[nodiscard]] const TrainingExperimentOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  TrainingExperimentOptions options_;
+};
+
+// --- multi-seed sweep --------------------------------------------------------
+//
+// The paper's Fig 5b/c are single training runs; a sweep over independent
+// seeds shows the initialization effect is not a seed artifact and puts
+// error bars on the final losses.
+
+struct TrainingSweepOptions {
+  TrainingExperimentOptions base;   ///< seed field is the sweep's root seed
+  std::size_t repetitions = 5;      ///< independent seeds per initializer
+};
+
+struct TrainingSweepSeries {
+  std::string initializer;
+  std::vector<double> final_losses;  ///< one per repetition
+  Summary final_loss_summary;
+};
+
+struct TrainingSweepResult {
+  std::vector<TrainingSweepSeries> series;
+  TrainingSweepOptions options;
+
+  /// initializer, mean/min/max final loss, stddev across seeds.
+  [[nodiscard]] Table summary_table() const;
+};
+
+/// Runs the training experiment `repetitions` times with derived seeds.
+[[nodiscard]] TrainingSweepResult run_training_sweep(
+    const std::vector<const Initializer*>& initializers,
+    const TrainingSweepOptions& options);
+
+}  // namespace qbarren

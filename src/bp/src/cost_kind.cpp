@@ -1,0 +1,43 @@
+#include "qbarren/bp/cost_kind.hpp"
+
+namespace qbarren {
+
+std::shared_ptr<Observable> make_cost_observable(CostKind kind,
+                                                 std::size_t num_qubits) {
+  switch (kind) {
+    case CostKind::kGlobalZero:
+      return std::make_shared<GlobalZeroObservable>(num_qubits);
+    case CostKind::kLocalZero:
+      return std::make_shared<LocalZeroObservable>(num_qubits);
+    case CostKind::kPauliZZ: {
+      QBARREN_REQUIRE(num_qubits >= 2,
+                      "make_cost_observable: ZZ needs >= 2 qubits");
+      std::string s(num_qubits, 'I');
+      s[0] = 'Z';
+      s[1] = 'Z';
+      return std::make_shared<PauliStringObservable>(std::move(s));
+    }
+  }
+  throw InvalidArgument("make_cost_observable: unknown cost kind");
+}
+
+std::string cost_kind_name(CostKind kind) {
+  switch (kind) {
+    case CostKind::kGlobalZero:
+      return "global";
+    case CostKind::kLocalZero:
+      return "local";
+    case CostKind::kPauliZZ:
+      return "zz";
+  }
+  return "?";
+}
+
+CostKind cost_kind_from_name(const std::string& name) {
+  if (name == "global") return CostKind::kGlobalZero;
+  if (name == "local") return CostKind::kLocalZero;
+  if (name == "zz") return CostKind::kPauliZZ;
+  throw NotFound("cost_kind_from_name: unknown cost kind '" + name + "'");
+}
+
+}  // namespace qbarren

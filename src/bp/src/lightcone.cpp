@@ -1,0 +1,76 @@
+#include "qbarren/bp/lightcone.hpp"
+
+namespace qbarren {
+
+LightConeReport analyze_light_cone(
+    const Circuit& circuit,
+    const std::vector<std::size_t>& observable_qubits) {
+  QBARREN_REQUIRE(!observable_qubits.empty(),
+                  "analyze_light_cone: empty observable support");
+  std::vector<bool> support(circuit.num_qubits(), false);
+  for (const std::size_t q : observable_qubits) {
+    QBARREN_REQUIRE(q < circuit.num_qubits(),
+                    "analyze_light_cone: observable qubit out of range");
+    support[q] = true;
+  }
+
+  LightConeReport report;
+  report.alive.assign(circuit.num_parameters(), false);
+
+  // Walk the circuit backward, growing the observable's support through
+  // entangling gates. A parameterized rotation encountered at position k
+  // sees the support of H conjugated by everything after k.
+  const auto& ops = circuit.operations();
+  for (std::size_t k = ops.size(); k-- > 0;) {
+    const Operation& op = ops[k];
+    if (is_two_qubit(op.kind)) {
+      // A parameterized two-qubit gate (controlled rotation) can have a
+      // non-zero gradient whenever the observable touches either qubit.
+      if (is_parameterized(op.kind) &&
+          (support[op.qubit0] || support[op.qubit1])) {
+        report.alive[op.param_index] = true;
+      }
+      // Conjugation through a two-qubit gate can spread the observable to
+      // both qubits whenever it currently touches either.
+      if (support[op.qubit0] || support[op.qubit1]) {
+        support[op.qubit0] = true;
+        support[op.qubit1] = true;
+      }
+      continue;
+    }
+    if (op.kind == OpKind::kRotation) {
+      if (support[op.qubit0]) {
+        report.alive[op.param_index] = true;
+      }
+    }
+    // Single-qubit gates never change which qubits the observable touches.
+  }
+
+  for (const bool alive : report.alive) {
+    if (!alive) {
+      ++report.dead_count;
+    }
+  }
+  return report;
+}
+
+Table light_cone_table(
+    const std::vector<std::pair<std::string, LightConeReport>>& reports) {
+  Table table({"circuit", "parameters", "dead parameters",
+               "dead fraction"});
+  for (const auto& [label, report] : reports) {
+    table.begin_row();
+    table.push(label);
+    table.push(report.alive.size());
+    table.push(report.dead_count);
+    const double fraction =
+        report.alive.empty()
+            ? 0.0
+            : static_cast<double>(report.dead_count) /
+                  static_cast<double>(report.alive.size());
+    table.push(fraction, 3);
+  }
+  return table;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,133 @@
+#include "qbarren/bp/serialize.hpp"
+
+#include <cmath>
+
+namespace qbarren {
+
+namespace {
+
+JsonValue fit_to_json(const LinearFit& fit) {
+  JsonValue j = JsonValue::object();
+  j.set("slope", fit.slope);
+  j.set("intercept", fit.intercept);
+  j.set("r_squared", fit.r_squared);
+  j.set("slope_stderr", fit.slope_stderr);
+  j.set("points", fit.n);
+  return j;
+}
+
+}  // namespace
+
+JsonValue to_json(const VarianceResult& result) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "qbarren.variance.v1");
+
+  JsonValue options = JsonValue::object();
+  JsonValue qubits = JsonValue::array();
+  for (const std::size_t q : result.options.qubit_counts) {
+    qubits.push_back(JsonValue::integer(static_cast<std::int64_t>(q)));
+  }
+  options.set("qubit_counts", std::move(qubits));
+  options.set("circuits_per_point", result.options.circuits_per_point);
+  options.set("layers", result.options.layers);
+  options.set("cost", cost_kind_name(result.options.cost));
+  options.set("seed", static_cast<std::int64_t>(result.options.seed));
+  options.set("gradient_engine", result.options.gradient_engine);
+  root.set("options", std::move(options));
+
+  const bool have_random = [&] {
+    for (const VarianceSeries& s : result.series) {
+      if (s.initializer == "random") return true;
+    }
+    return false;
+  }();
+
+  JsonValue series = JsonValue::array();
+  for (const VarianceSeries& s : result.series) {
+    JsonValue entry = JsonValue::object();
+    entry.set("initializer", s.initializer);
+    JsonValue points = JsonValue::array();
+    for (const VariancePoint& p : s.points) {
+      JsonValue point = JsonValue::object();
+      point.set("qubits", p.qubits);
+      point.set("variance", p.variance);
+      point.set("mean", p.gradient_summary.mean);
+      point.set("min", p.gradient_summary.min);
+      point.set("max", p.gradient_summary.max);
+      points.push_back(std::move(point));
+    }
+    entry.set("points", std::move(points));
+    entry.set("decay_fit", fit_to_json(s.decay_fit));
+    if (have_random && s.initializer != "random") {
+      entry.set("improvement_vs_random_percent",
+                result.improvement_percent(s.initializer));
+    }
+    series.push_back(std::move(entry));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+JsonValue to_json(const TrainingResult& result) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "qbarren.training.v1");
+
+  JsonValue options = JsonValue::object();
+  options.set("qubits", result.options.qubits);
+  options.set("layers", result.options.layers);
+  options.set("iterations", result.options.iterations);
+  options.set("learning_rate", result.options.learning_rate);
+  options.set("optimizer", result.options.optimizer);
+  options.set("gradient_engine", result.options.gradient_engine);
+  options.set("cost", cost_kind_name(result.options.cost));
+  options.set("seed", static_cast<std::int64_t>(result.options.seed));
+  root.set("options", std::move(options));
+
+  JsonValue series = JsonValue::array();
+  for (const TrainingSeries& s : result.series) {
+    JsonValue entry = JsonValue::object();
+    entry.set("initializer", s.initializer);
+    entry.set("initial_loss", s.result.initial_loss);
+    entry.set("final_loss", s.result.final_loss);
+    entry.set("iterations", s.result.iterations);
+    entry.set("loss_history",
+              JsonValue::number_array(s.result.loss_history));
+    entry.set("gradient_norm_history",
+              JsonValue::number_array(s.result.gradient_norm_history));
+    series.push_back(std::move(entry));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+JsonValue to_json(const LandscapeResult& result) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "qbarren.landscape.v1");
+
+  JsonValue options = JsonValue::object();
+  options.set("qubits", result.options.qubits);
+  options.set("layers", result.options.layers);
+  options.set("grid_points", result.options.grid_points);
+  options.set("param_a", result.options.param_a);
+  options.set("param_b", result.options.param_b);
+  options.set("lo", result.options.lo);
+  options.set("hi", result.options.hi);
+  options.set("cost", cost_kind_name(result.options.cost));
+  options.set("seed", static_cast<std::int64_t>(result.options.seed));
+  options.set("random_background", result.options.random_background);
+  root.set("options", std::move(options));
+
+  root.set("axis", JsonValue::number_array(result.axis));
+  root.set("values_row_major", JsonValue::number_array(result.values));
+
+  JsonValue metrics = JsonValue::object();
+  metrics.set("min", result.min_value);
+  metrics.set("max", result.max_value);
+  metrics.set("range", result.range);
+  metrics.set("stddev", result.stddev);
+  metrics.set("mean", result.mean);
+  root.set("metrics", std::move(metrics));
+  return root;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,167 @@
+#include "qbarren/bp/training.hpp"
+
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/init/registry.hpp"
+#include "qbarren/obs/cost.hpp"
+
+namespace qbarren {
+
+TrainingExperiment::TrainingExperiment(TrainingExperimentOptions options)
+    : options_(std::move(options)) {
+  QBARREN_REQUIRE(options_.qubits >= 1, "TrainingExperiment: need >= 1 qubit");
+  QBARREN_REQUIRE(options_.layers >= 1, "TrainingExperiment: need >= 1 layer");
+  QBARREN_REQUIRE(options_.learning_rate > 0.0,
+                  "TrainingExperiment: learning rate must be positive");
+}
+
+TrainingResult TrainingExperiment::run(
+    const std::vector<const Initializer*>& initializers) const {
+  QBARREN_REQUIRE(!initializers.empty(),
+                  "TrainingExperiment::run: no initializers");
+  for (const Initializer* init : initializers) {
+    QBARREN_REQUIRE(init != nullptr,
+                    "TrainingExperiment::run: null initializer");
+  }
+
+  TrainingAnsatzOptions ansatz_options;
+  ansatz_options.layers = options_.layers;
+  auto circuit = std::make_shared<const Circuit>(
+      training_ansatz(options_.qubits, ansatz_options));
+  const CostFunction cost(circuit,
+                          make_cost_observable(options_.cost, options_.qubits));
+  const auto engine = make_gradient_engine(options_.gradient_engine);
+
+  TrainOptions train_options;
+  train_options.max_iterations = options_.iterations;
+
+  const Rng root(options_.seed);
+
+  TrainingResult result;
+  result.options = options_;
+  for (std::size_t t = 0; t < initializers.size(); ++t) {
+    Rng param_rng = root.child(t);
+    std::vector<double> params =
+        initializers[t]->initialize(*circuit, param_rng);
+
+    const auto optimizer =
+        make_optimizer(options_.optimizer, options_.learning_rate);
+    TrainingSeries series;
+    series.initializer = initializers[t]->name();
+    series.result =
+        train(cost, *engine, *optimizer, std::move(params), train_options);
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+TrainingResult TrainingExperiment::run_paper_set(FanMode mode) const {
+  const auto owned = paper_initializers(mode);
+  std::vector<const Initializer*> ptrs;
+  ptrs.reserve(owned.size());
+  for (const auto& init : owned) {
+    ptrs.push_back(init.get());
+  }
+  return run(ptrs);
+}
+
+const TrainingSeries& TrainingResult::find(
+    const std::string& initializer) const {
+  for (const TrainingSeries& s : series) {
+    if (s.initializer == initializer) {
+      return s;
+    }
+  }
+  throw NotFound("TrainingResult::find: no series for initializer '" +
+                 initializer + "'");
+}
+
+Table TrainingResult::loss_table(std::size_t stride) const {
+  QBARREN_REQUIRE(stride >= 1, "TrainingResult::loss_table: stride >= 1");
+  std::vector<std::string> headers{"iteration"};
+  for (const TrainingSeries& s : series) {
+    headers.push_back("loss[" + s.initializer + "]");
+  }
+  Table table(std::move(headers));
+  if (series.empty()) {
+    return table;
+  }
+  const std::size_t n = series.front().result.loss_history.size();
+  for (std::size_t it = 0; it < n; it += stride) {
+    table.begin_row();
+    table.push(it);
+    for (const TrainingSeries& s : series) {
+      table.push(s.result.loss_history[it], 6);
+    }
+  }
+  // Always include the final iterate even when stride skips it.
+  if (n >= 1 && (n - 1) % stride != 0) {
+    table.begin_row();
+    table.push(n - 1);
+    for (const TrainingSeries& s : series) {
+      table.push(s.result.loss_history[n - 1], 6);
+    }
+  }
+  return table;
+}
+
+TrainingSweepResult run_training_sweep(
+    const std::vector<const Initializer*>& initializers,
+    const TrainingSweepOptions& options) {
+  QBARREN_REQUIRE(options.repetitions >= 2,
+                  "run_training_sweep: need >= 2 repetitions for spread");
+  QBARREN_REQUIRE(!initializers.empty(),
+                  "run_training_sweep: no initializers");
+
+  TrainingSweepResult result;
+  result.options = options;
+  result.series.resize(initializers.size());
+  for (std::size_t t = 0; t < initializers.size(); ++t) {
+    result.series[t].initializer = initializers[t]->name();
+  }
+
+  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+    TrainingExperimentOptions rep_options = options.base;
+    rep_options.seed = splitmix64(options.base.seed ^ (rep + 1));
+    const TrainingResult run =
+        TrainingExperiment(rep_options).run(initializers);
+    for (std::size_t t = 0; t < initializers.size(); ++t) {
+      result.series[t].final_losses.push_back(
+          run.series[t].result.final_loss);
+    }
+  }
+  for (TrainingSweepSeries& s : result.series) {
+    s.final_loss_summary = summarize(s.final_losses);
+  }
+  return result;
+}
+
+Table TrainingSweepResult::summary_table() const {
+  Table table({"initializer", "mean final loss", "stddev", "min", "max",
+               "seeds"});
+  for (const TrainingSweepSeries& s : series) {
+    table.begin_row();
+    table.push(s.initializer);
+    table.push(s.final_loss_summary.mean, 6);
+    table.push(s.final_loss_summary.stddev, 6);
+    table.push(s.final_loss_summary.min, 6);
+    table.push(s.final_loss_summary.max, 6);
+    table.push(s.final_losses.size());
+  }
+  return table;
+}
+
+Table TrainingResult::summary_table() const {
+  Table table({"initializer", "initial loss", "final loss", "loss drop",
+               "iterations"});
+  for (const TrainingSeries& s : series) {
+    table.begin_row();
+    table.push(s.initializer);
+    table.push(s.result.initial_loss, 6);
+    table.push(s.result.final_loss, 6);
+    table.push(s.result.initial_loss - s.result.final_loss, 6);
+    table.push(s.result.iterations);
+  }
+  return table;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,330 @@
+#include "qbarren/bp/variance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/init/registry.hpp"
+
+namespace qbarren {
+
+VarianceExperiment::VarianceExperiment(VarianceExperimentOptions options)
+    : options_(std::move(options)) {
+  QBARREN_REQUIRE(!options_.qubit_counts.empty(),
+                  "VarianceExperiment: need at least one qubit count");
+  for (std::size_t q : options_.qubit_counts) {
+    QBARREN_REQUIRE(q >= 1, "VarianceExperiment: qubit counts must be >= 1");
+  }
+  QBARREN_REQUIRE(options_.circuits_per_point >= 2,
+                  "VarianceExperiment: need >= 2 circuits per point to "
+                  "compute a variance");
+  QBARREN_REQUIRE(options_.layers >= 1,
+                  "VarianceExperiment: need >= 1 layer");
+}
+
+VarianceResult VarianceExperiment::run(
+    const std::vector<const Initializer*>& initializers) const {
+  QBARREN_REQUIRE(!initializers.empty(),
+                  "VarianceExperiment::run: no initializers");
+  for (const Initializer* init : initializers) {
+    QBARREN_REQUIRE(init != nullptr,
+                    "VarianceExperiment::run: null initializer");
+  }
+
+  const auto engine = make_gradient_engine(options_.gradient_engine);
+  const Rng root(options_.seed);
+
+  VarianceResult result;
+  result.options = options_;
+  result.series.resize(initializers.size());
+  for (std::size_t t = 0; t < initializers.size(); ++t) {
+    result.series[t].initializer = initializers[t]->name();
+  }
+
+  // Sample gradients. Circuit structure streams depend on (q, i) only so
+  // every initializer sees the same 200 random circuits per qubit count;
+  // parameter streams additionally depend on the initializer index.
+  for (std::size_t qi = 0; qi < options_.qubit_counts.size(); ++qi) {
+    const std::size_t q = options_.qubit_counts[qi];
+    const auto observable = make_cost_observable(options_.cost, q);
+    std::vector<std::vector<double>> samples(
+        initializers.size(),
+        std::vector<double>(options_.circuits_per_point));
+
+    const Rng q_stream = root.child(qi);
+    for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
+      const Rng circuit_stream = q_stream.child(2 * i);
+      Rng structure_rng = circuit_stream.child(0);
+      VarianceAnsatzOptions ansatz_options;
+      ansatz_options.layers = options_.layers;
+      ansatz_options.entangle = options_.entangle;
+      ansatz_options.entangler = options_.entangler;
+      ansatz_options.topology = options_.topology;
+      const Circuit circuit = variance_ansatz(q, structure_rng, ansatz_options);
+      std::size_t which = circuit.num_parameters() - 1;
+      switch (options_.which_parameter) {
+        case GradientParameter::kLast:
+          break;
+        case GradientParameter::kMiddle:
+          which = circuit.num_parameters() / 2;
+          break;
+        case GradientParameter::kFirst:
+          which = 0;
+          break;
+      }
+
+      for (std::size_t t = 0; t < initializers.size(); ++t) {
+        Rng param_rng = circuit_stream.child(1 + t);
+        const std::vector<double> params =
+            initializers[t]->initialize(circuit, param_rng);
+        samples[t][i] =
+            engine->partial(circuit, *observable, params, which);
+      }
+    }
+
+    for (std::size_t t = 0; t < initializers.size(); ++t) {
+      VariancePoint point;
+      point.qubits = q;
+      point.gradient_summary = summarize(samples[t]);
+      point.variance = point.gradient_summary.variance;
+      if (options_.keep_samples) {
+        point.samples = samples[t];
+      }
+      result.series[t].points.push_back(std::move(point));
+    }
+  }
+
+  // Decay fits: ln Var vs qubit count over the positive-variance points.
+  for (VarianceSeries& s : result.series) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const VariancePoint& p : s.points) {
+      if (p.variance > 0.0) {
+        xs.push_back(static_cast<double>(p.qubits));
+        ys.push_back(std::log(p.variance));
+      }
+    }
+    if (xs.size() >= 2) {
+      s.decay_fit = linear_fit(xs, ys);
+    } else {
+      s.decay_fit = LinearFit{};  // degenerate; tables will show n = 0
+    }
+  }
+  return result;
+}
+
+VarianceResult VarianceExperiment::run_paper_set(FanMode mode) const {
+  const auto owned = paper_initializers(mode);
+  std::vector<const Initializer*> ptrs;
+  ptrs.reserve(owned.size());
+  for (const auto& init : owned) {
+    ptrs.push_back(init.get());
+  }
+  return run(ptrs);
+}
+
+PositionalVarianceResult positional_variance(
+    const VarianceExperimentOptions& options, const Initializer& initializer,
+    std::vector<double> fractions) {
+  QBARREN_REQUIRE(!fractions.empty(), "positional_variance: no fractions");
+  for (const double f : fractions) {
+    QBARREN_REQUIRE(f >= 0.0 && f <= 1.0,
+                    "positional_variance: fractions must be in [0, 1]");
+  }
+  const VarianceExperiment checked(options);  // validates the options
+  (void)checked;
+
+  const AdjointEngine engine;
+  const Rng root(options.seed);
+
+  PositionalVarianceResult result;
+  result.fractions = std::move(fractions);
+  result.qubit_counts = options.qubit_counts;
+  result.variances.assign(result.fractions.size(),
+                          std::vector<double>(options.qubit_counts.size()));
+
+  for (std::size_t qi = 0; qi < options.qubit_counts.size(); ++qi) {
+    const std::size_t q = options.qubit_counts[qi];
+    const auto observable = make_cost_observable(options.cost, q);
+    std::vector<std::vector<double>> samples(
+        result.fractions.size(),
+        std::vector<double>(options.circuits_per_point));
+
+    const Rng q_stream = root.child(qi);
+    for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
+      const Rng circuit_stream = q_stream.child(2 * i);
+      Rng structure_rng = circuit_stream.child(0);
+      VarianceAnsatzOptions ansatz_options;
+      ansatz_options.layers = options.layers;
+      ansatz_options.entangle = options.entangle;
+      ansatz_options.entangler = options.entangler;
+      ansatz_options.topology = options.topology;
+      const Circuit circuit =
+          variance_ansatz(q, structure_rng, ansatz_options);
+      Rng param_rng = circuit_stream.child(1);
+      const auto params = initializer.initialize(circuit, param_rng);
+      const auto grad = engine.gradient(circuit, *observable, params);
+
+      const std::size_t last = circuit.num_parameters() - 1;
+      for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+        const auto k = static_cast<std::size_t>(
+            std::llround(result.fractions[f] * static_cast<double>(last)));
+        samples[f][i] = grad[k];
+      }
+    }
+    for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+      result.variances[f][qi] = sample_variance(samples[f]);
+    }
+  }
+  return result;
+}
+
+Table PositionalVarianceResult::table() const {
+  std::vector<std::string> headers{"position fraction"};
+  for (const std::size_t q : qubit_counts) {
+    headers.push_back("Var at q=" + std::to_string(q));
+  }
+  Table out(std::move(headers));
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    out.begin_row();
+    out.push(fractions[f], 2);
+    for (std::size_t qi = 0; qi < qubit_counts.size(); ++qi) {
+      out.push_sci(variances[f][qi]);
+    }
+  }
+  return out;
+}
+
+SlopeConfidenceInterval bootstrap_decay_ci(const VarianceSeries& series,
+                                           std::size_t resamples,
+                                           double confidence,
+                                           std::uint64_t seed) {
+  QBARREN_REQUIRE(resamples >= 10,
+                  "bootstrap_decay_ci: need >= 10 resamples");
+  QBARREN_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                  "bootstrap_decay_ci: confidence must be in (0, 1)");
+  QBARREN_REQUIRE(series.points.size() >= 2,
+                  "bootstrap_decay_ci: need >= 2 qubit points");
+  for (const VariancePoint& p : series.points) {
+    QBARREN_REQUIRE(p.samples.size() >= 2,
+                    "bootstrap_decay_ci: raw samples missing — rerun the "
+                    "experiment with keep_samples = true");
+  }
+
+  Rng rng(seed);
+  std::vector<double> slopes;
+  slopes.reserve(resamples);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<double> resampled;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    xs.clear();
+    ys.clear();
+    for (const VariancePoint& p : series.points) {
+      resampled.resize(p.samples.size());
+      for (auto& v : resampled) {
+        v = p.samples[rng.index(p.samples.size())];
+      }
+      const double var = sample_variance(resampled);
+      if (var > 0.0) {
+        xs.push_back(static_cast<double>(p.qubits));
+        ys.push_back(std::log(var));
+      }
+    }
+    if (xs.size() >= 2) {
+      slopes.push_back(linear_fit(xs, ys).slope);
+    }
+  }
+  QBARREN_REQUIRE(slopes.size() >= 10,
+                  "bootstrap_decay_ci: too many degenerate replicates");
+
+  std::sort(slopes.begin(), slopes.end());
+  const double alpha = 1.0 - confidence;
+  const auto lo_idx = static_cast<std::size_t>(
+      alpha / 2.0 * static_cast<double>(slopes.size() - 1));
+  const auto hi_idx = static_cast<std::size_t>(
+      (1.0 - alpha / 2.0) * static_cast<double>(slopes.size() - 1));
+
+  SlopeConfidenceInterval ci;
+  ci.point = series.decay_fit.slope;
+  ci.lower = slopes[lo_idx];
+  ci.upper = slopes[hi_idx];
+  ci.confidence = confidence;
+  return ci;
+}
+
+const VarianceSeries& VarianceResult::find(
+    const std::string& initializer) const {
+  for (const VarianceSeries& s : series) {
+    if (s.initializer == initializer) {
+      return s;
+    }
+  }
+  throw NotFound("VarianceResult::find: no series for initializer '" +
+                 initializer + "'");
+}
+
+double VarianceResult::improvement_percent(
+    const std::string& initializer) const {
+  const VarianceSeries& random = find("random");
+  const VarianceSeries& target = find(initializer);
+  const double random_rate = std::abs(random.decay_fit.slope);
+  if (random_rate <= 1e-12) {
+    throw NumericalError(
+        "VarianceResult::improvement_percent: random decay rate is ~0");
+  }
+  const double target_rate = std::abs(target.decay_fit.slope);
+  return (random_rate - target_rate) / random_rate * 100.0;
+}
+
+Table VarianceResult::variance_table() const {
+  std::vector<std::string> headers{"qubits"};
+  for (const VarianceSeries& s : series) {
+    headers.push_back("Var[" + s.initializer + "]");
+  }
+  Table table(std::move(headers));
+  if (series.empty()) {
+    return table;
+  }
+  for (std::size_t row = 0; row < series.front().points.size(); ++row) {
+    table.begin_row();
+    table.push(series.front().points[row].qubits);
+    for (const VarianceSeries& s : series) {
+      table.push_sci(s.points[row].variance);
+    }
+  }
+  return table;
+}
+
+Table VarianceResult::decay_table() const {
+  const bool have_random = [&] {
+    for (const VarianceSeries& s : series) {
+      if (s.initializer == "random") return true;
+    }
+    return false;
+  }();
+
+  std::vector<std::string> headers{"initializer", "decay slope (ln Var/qubit)",
+                                   "R^2"};
+  if (have_random) {
+    headers.push_back("improvement vs random [%]");
+  }
+  Table table(std::move(headers));
+  for (const VarianceSeries& s : series) {
+    table.begin_row();
+    table.push(s.initializer);
+    table.push(s.decay_fit.slope, 4);
+    table.push(s.decay_fit.r_squared, 4);
+    if (have_random) {
+      if (s.initializer == "random") {
+        table.push(std::string("(baseline)"));
+      } else {
+        table.push(improvement_percent(s.initializer), 1);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,163 @@
+// Parameterized circuit intermediate representation.
+//
+// A `Circuit` is an ordered list of operations on a fixed-width register.
+// Parameterized rotations reference an entry of the external parameter
+// vector by index; executing the circuit binds a caller-supplied parameter
+// vector. This separation (structure vs parameters) is what the paper's
+// experiments need: the same circuit is evaluated at shifted parameters
+// (parameter-shift rule) and re-initialized by different strategies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qbarren/qsim/gates.hpp"
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+
+enum class OpKind {
+  kRotation,   ///< parameterized R_axis(theta_i) on one qubit
+  kFixedRotation,  ///< R_axis(angle) with a literal, non-trainable angle
+  kControlledRotation,  ///< parameterized controlled-R_axis (control =
+                        ///< qubit0, target = qubit1). NOTE: the two-term
+                        ///< parameter-shift rule is NOT exact for these;
+                        ///< ParameterShiftEngine applies the four-term
+                        ///< rule automatically.
+  kHadamard,
+  kPauliX,
+  kPauliY,
+  kPauliZ,
+  kSGate,
+  kTGate,
+  kCz,
+  kCnot,
+  kSwap,
+};
+
+/// True for two-qubit op kinds.
+[[nodiscard]] bool is_two_qubit(OpKind kind) noexcept;
+
+/// True when the op consumes a trainable parameter.
+[[nodiscard]] bool is_parameterized(OpKind kind) noexcept;
+
+struct Operation {
+  OpKind kind = OpKind::kRotation;
+  gates::Axis axis = gates::Axis::kX;  ///< rotation axis (rotation kinds only)
+  std::size_t qubit0 = 0;              ///< target / first qubit
+  std::size_t qubit1 = 0;              ///< second qubit (two-qubit kinds only)
+  std::size_t param_index = 0;         ///< kRotation only
+  double fixed_angle = 0.0;            ///< kFixedRotation only
+};
+
+/// Layer-tensor shape metadata attached by ansatz builders: the parameter
+/// vector is conceptually a (layers x params_per_layer) tensor. Classical
+/// initializers use this as the fan-in/fan-out of each "layer".
+struct LayerShape {
+  std::size_t layers = 0;
+  std::size_t params_per_layer = 0;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(std::size_t num_qubits);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_parameters() const noexcept {
+    return num_params_;
+  }
+  [[nodiscard]] std::size_t num_operations() const noexcept {
+    return ops_.size();
+  }
+  [[nodiscard]] const std::vector<Operation>& operations() const noexcept {
+    return ops_;
+  }
+
+  /// Number of two-qubit operations (entangling gate count).
+  [[nodiscard]] std::size_t two_qubit_gate_count() const noexcept;
+
+  /// Circuit depth: length of the longest chain of operations that share
+  /// qubits (the standard "layers after greedy parallelization" metric).
+  /// 0 for an empty circuit.
+  [[nodiscard]] std::size_t depth() const;
+
+  /// The operation that consumes `param_index` (gradient engines use this
+  /// to select the correct shift rule). Throws NotFound when no operation
+  /// uses the index (possible only for hand-built inconsistent indices).
+  [[nodiscard]] const Operation& operation_for_parameter(
+      std::size_t param_index) const;
+
+  /// Layer-tensor shape if an ansatz builder recorded one.
+  [[nodiscard]] const std::optional<LayerShape>& layer_shape() const noexcept {
+    return layer_shape_;
+  }
+  void set_layer_shape(LayerShape shape);
+
+  // --- building ------------------------------------------------------------
+
+  /// Appends a trainable rotation; returns its parameter index.
+  std::size_t add_rotation(gates::Axis axis, std::size_t qubit);
+
+  /// Appends a trainable controlled rotation (R_axis on `target` when
+  /// `control` is |1>); returns its parameter index.
+  std::size_t add_controlled_rotation(gates::Axis axis, std::size_t control,
+                                      std::size_t target);
+
+  /// Appends a rotation with a literal angle (not trainable).
+  void add_fixed_rotation(gates::Axis axis, std::size_t qubit, double angle);
+
+  void add_hadamard(std::size_t qubit);
+  void add_pauli_x(std::size_t qubit);
+  void add_pauli_y(std::size_t qubit);
+  void add_pauli_z(std::size_t qubit);
+  void add_s(std::size_t qubit);
+  void add_t(std::size_t qubit);
+  void add_cz(std::size_t a, std::size_t b);
+  void add_cnot(std::size_t control, std::size_t target);
+  void add_swap(std::size_t a, std::size_t b);
+
+  /// Appends every operation of `other` (same width), remapping its
+  /// parameter indices to fresh indices of this circuit.
+  void append(const Circuit& other);
+
+  // --- execution -------------------------------------------------------------
+
+  /// Applies all operations to `state` using `params` for trainable
+  /// rotations. params.size() must equal num_parameters().
+  void apply(StateVector& state, std::span<const double> params) const;
+
+  /// Applies the single operation at `op_index` (exposed for adjoint-mode
+  /// differentiation which walks the circuit op by op).
+  void apply_operation(std::size_t op_index, StateVector& state,
+                       std::span<const double> params) const;
+
+  /// Applies the inverse (adjoint) of the operation at `op_index`.
+  void apply_operation_inverse(std::size_t op_index, StateVector& state,
+                               std::span<const double> params) const;
+
+  /// Applies the parameter derivative of the (parameterized) operation at
+  /// `op_index`: state <- dU_op/dtheta |state>. Non-unitary.
+  void apply_operation_derivative(std::size_t op_index, StateVector& state,
+                                  std::span<const double> params) const;
+
+  /// Runs from |0...0> and returns the final state.
+  [[nodiscard]] StateVector simulate(std::span<const double> params) const;
+
+  /// Dense 2^n x 2^n unitary of the bound circuit (reference path for
+  /// tests; exponential in width).
+  [[nodiscard]] ComplexMatrix unitary(std::span<const double> params) const;
+
+ private:
+  void check_qubit(std::size_t q) const;
+  [[nodiscard]] ComplexMatrix op_matrix(const Operation& op,
+                                        std::span<const double> params) const;
+
+  std::size_t num_qubits_ = 0;
+  std::size_t num_params_ = 0;
+  std::vector<Operation> ops_;
+  std::optional<LayerShape> layer_shape_;
+};
+
+}  // namespace qbarren

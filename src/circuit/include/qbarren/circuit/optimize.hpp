@@ -1,0 +1,28 @@
+// Peephole circuit optimization.
+//
+// Conservative rewrites that preserve the circuit's unitary exactly and
+// never touch trainable parameters (their indices must stay stable for
+// optimizers and initializers):
+//   * drop fixed rotations with angle 0 (mod 4 pi exactly 0 only),
+//   * fuse adjacent same-axis fixed rotations on one qubit,
+//   * cancel adjacent identical CZ / CNOT / SWAP pairs,
+//   * cancel adjacent H H / X X / Y Y / Z Z pairs.
+// "Adjacent" means no intervening operation acts on any involved qubit.
+#pragma once
+
+#include "qbarren/circuit/circuit.hpp"
+
+namespace qbarren {
+
+struct OptimizeStats {
+  std::size_t removed_operations = 0;
+  std::size_t fused_rotations = 0;
+  std::size_t cancelled_pairs = 0;
+};
+
+/// Returns an equivalent, possibly shorter circuit. Parameter indices and
+/// count are preserved verbatim.
+[[nodiscard]] Circuit optimize_circuit(const Circuit& circuit,
+                                       OptimizeStats* stats = nullptr);
+
+}  // namespace qbarren

@@ -1,0 +1,24 @@
+// Multi-qubit Pauli rotations.
+//
+// exp(-i theta/2 * P) for a Pauli string P compiles to the textbook
+// basis-change + CNOT-ladder + RZ + uncompute pattern:
+//   * X on qubit q -> conjugate by H (HZH = X)
+//   * Y on qubit q -> conjugate by the Y-basis change (RX(+-pi/2))
+//   * entangle the support with a CNOT chain onto its last qubit
+//   * RZ(theta) there, then undo the chain and the basis changes.
+// The rotation consumes ONE trainable parameter regardless of the string's
+// weight, and the parameter-shift rule remains exact (P^2 = I implies the
+// usual two-term rule).
+#pragma once
+
+#include "qbarren/circuit/circuit.hpp"
+
+namespace qbarren {
+
+/// Appends exp(-i theta/2 * paulis) to `circuit` as a trainable rotation;
+/// returns the parameter index. `paulis` uses one of I/X/Y/Z per qubit
+/// (low qubit first), must contain at least one non-identity, and its
+/// length must equal the circuit width.
+std::size_t add_pauli_rotation(Circuit& circuit, const std::string& paulis);
+
+}  // namespace qbarren

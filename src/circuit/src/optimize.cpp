@@ -1,0 +1,184 @@
+#include "qbarren/circuit/optimize.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace qbarren {
+
+namespace {
+
+bool touches_qubit(const Operation& op, std::size_t q) {
+  if (op.qubit0 == q) return true;
+  return is_two_qubit(op.kind) && op.qubit1 == q;
+}
+
+bool ops_share_qubit(const Operation& a, const Operation& b) {
+  if (touches_qubit(a, b.qubit0)) return true;
+  return is_two_qubit(b.kind) && touches_qubit(a, b.qubit1);
+}
+
+bool is_self_inverse_single(OpKind kind) {
+  switch (kind) {
+    case OpKind::kHadamard:
+    case OpKind::kPauliX:
+    case OpKind::kPauliY:
+    case OpKind::kPauliZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool same_two_qubit_gate(const Operation& a, const Operation& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == OpKind::kCz || a.kind == OpKind::kSwap) {
+    // Symmetric gates: qubit order irrelevant.
+    return (a.qubit0 == b.qubit0 && a.qubit1 == b.qubit1) ||
+           (a.qubit0 == b.qubit1 && a.qubit1 == b.qubit0);
+  }
+  if (a.kind == OpKind::kCnot) {
+    return a.qubit0 == b.qubit0 && a.qubit1 == b.qubit1;
+  }
+  return false;
+}
+
+// Finds the next op after index i (in the working list) acting on any
+// qubit of ops[i]; returns nullopt when something unrelated intervenes...
+// actually returns the index of the first op touching a shared qubit, or
+// nullopt if none exists.
+std::optional<std::size_t> next_on_same_qubits(
+    const std::vector<Operation>& ops, std::size_t i) {
+  for (std::size_t j = i + 1; j < ops.size(); ++j) {
+    if (ops_share_qubit(ops[i], ops[j])) {
+      return j;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Circuit optimize_circuit(const Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  std::vector<Operation> ops(circuit.operations().begin(),
+                             circuit.operations().end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Pass 1: drop exact zero-angle fixed rotations.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == OpKind::kFixedRotation &&
+          ops[i].fixed_angle == 0.0) {
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        ++local.removed_operations;
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // Pass 2: fuse / cancel adjacent pairs.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto j_opt = next_on_same_qubits(ops, i);
+      if (!j_opt.has_value()) continue;
+      const std::size_t j = *j_opt;
+      Operation& a = ops[i];
+      Operation& b = ops[j];
+
+      // Fuse same-axis fixed rotations on the same qubit.
+      if (a.kind == OpKind::kFixedRotation &&
+          b.kind == OpKind::kFixedRotation && a.axis == b.axis &&
+          a.qubit0 == b.qubit0) {
+        a.fixed_angle += b.fixed_angle;
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+        ++local.fused_rotations;
+        changed = true;
+        break;
+      }
+
+      // Cancel identical self-inverse single-qubit pairs.
+      if (is_self_inverse_single(a.kind) && a.kind == b.kind &&
+          a.qubit0 == b.qubit0) {
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        local.cancelled_pairs += 1;
+        local.removed_operations += 2;
+        changed = true;
+        break;
+      }
+
+      // Cancel identical two-qubit pairs (CZ/SWAP symmetric, CNOT exact).
+      if (is_two_qubit(a.kind) && same_two_qubit_gate(a, b)) {
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        local.cancelled_pairs += 1;
+        local.removed_operations += 2;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Rebuild a circuit with identical parameter indexing. Circuit's builder
+  // assigns parameter indices sequentially, so re-adding rotations in
+  // order preserves them iff the relative order of parameterized ops is
+  // unchanged — the passes above never reorder or remove trainable
+  // rotations, only fixed gates.
+  Circuit out(circuit.num_qubits());
+  for (const Operation& op : ops) {
+    switch (op.kind) {
+      case OpKind::kRotation:
+        (void)out.add_rotation(op.axis, op.qubit0);
+        break;
+      case OpKind::kControlledRotation:
+        (void)out.add_controlled_rotation(op.axis, op.qubit0, op.qubit1);
+        break;
+      case OpKind::kFixedRotation:
+        out.add_fixed_rotation(op.axis, op.qubit0, op.fixed_angle);
+        break;
+      case OpKind::kHadamard:
+        out.add_hadamard(op.qubit0);
+        break;
+      case OpKind::kPauliX:
+        out.add_pauli_x(op.qubit0);
+        break;
+      case OpKind::kPauliY:
+        out.add_pauli_y(op.qubit0);
+        break;
+      case OpKind::kPauliZ:
+        out.add_pauli_z(op.qubit0);
+        break;
+      case OpKind::kSGate:
+        out.add_s(op.qubit0);
+        break;
+      case OpKind::kTGate:
+        out.add_t(op.qubit0);
+        break;
+      case OpKind::kCz:
+        out.add_cz(op.qubit0, op.qubit1);
+        break;
+      case OpKind::kCnot:
+        out.add_cnot(op.qubit0, op.qubit1);
+        break;
+      case OpKind::kSwap:
+        out.add_swap(op.qubit0, op.qubit1);
+        break;
+    }
+  }
+  QBARREN_REQUIRE(out.num_parameters() == circuit.num_parameters(),
+                  "optimize_circuit: internal error — parameter count "
+                  "changed");
+  if (circuit.layer_shape().has_value()) {
+    // Layer metadata may no longer tile the op list, but the parameter
+    // tensor shape is untouched; keep it.
+    out.set_layer_shape(*circuit.layer_shape());
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,58 @@
+#include "qbarren/circuit/pauli_rotation.hpp"
+
+#include <cmath>
+
+namespace qbarren {
+
+std::size_t add_pauli_rotation(Circuit& circuit, const std::string& paulis) {
+  QBARREN_REQUIRE(paulis.size() == circuit.num_qubits(),
+                  "add_pauli_rotation: string width mismatch");
+  std::vector<std::size_t> support;
+  for (std::size_t q = 0; q < paulis.size(); ++q) {
+    const char ch = paulis[q];
+    QBARREN_REQUIRE(ch == 'I' || ch == 'X' || ch == 'Y' || ch == 'Z',
+                    "add_pauli_rotation: characters must be I/X/Y/Z");
+    if (ch != 'I') {
+      support.push_back(q);
+    }
+  }
+  QBARREN_REQUIRE(!support.empty(),
+                  "add_pauli_rotation: identity string has no rotation");
+
+  // Basis change into Z on every support qubit. For X: H Z H = X. For Y:
+  // RX(pi/2) Z RX(-pi/2) = Y, so conjugating the Z-rotation by
+  // RX(-pi/2) ... RX(pi/2) implements the Y-rotation.
+  auto enter_basis = [&](std::size_t q) {
+    if (paulis[q] == 'X') {
+      circuit.add_hadamard(q);
+    } else if (paulis[q] == 'Y') {
+      circuit.add_fixed_rotation(gates::Axis::kX, q, M_PI / 2.0);
+    }
+  };
+  auto exit_basis = [&](std::size_t q) {
+    if (paulis[q] == 'X') {
+      circuit.add_hadamard(q);
+    } else if (paulis[q] == 'Y') {
+      circuit.add_fixed_rotation(gates::Axis::kX, q, -M_PI / 2.0);
+    }
+  };
+
+  for (const std::size_t q : support) {
+    enter_basis(q);
+  }
+  // Parity chain onto the last support qubit.
+  for (std::size_t i = 0; i + 1 < support.size(); ++i) {
+    circuit.add_cnot(support[i], support[i + 1]);
+  }
+  const std::size_t param =
+      circuit.add_rotation(gates::Axis::kZ, support.back());
+  for (std::size_t i = support.size() - 1; i-- > 0;) {
+    circuit.add_cnot(support[i], support[i + 1]);
+  }
+  for (std::size_t i = support.size(); i-- > 0;) {
+    exit_basis(support[i]);
+  }
+  return param;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,273 @@
+#include "qbarren/circuit/qasm_parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+namespace qbarren {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw InvalidArgument("parse_qasm: line " + std::to_string(line) + ": " +
+                        message);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// Evaluates the restricted angle grammar: term (('*'|'/') term)*, where a
+// term is `pi`, a decimal literal, or a unary-minus of either.
+double parse_angle(const std::string& expr, std::size_t line) {
+  const std::string text = trim(expr);
+  if (text.empty()) {
+    fail(line, "empty angle expression");
+  }
+  std::size_t pos = 0;
+
+  auto parse_term = [&]() -> double {
+    double sign = 1.0;
+    while (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+      if (text[pos] == '-') sign = -sign;
+      ++pos;
+    }
+    if (text.compare(pos, 2, "pi") == 0) {
+      pos += 2;
+      return sign * M_PI;
+    }
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            ((text[pos] == '-' || text[pos] == '+') && pos > start &&
+             (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+      ++pos;
+    }
+    if (pos == start) {
+      fail(line, "cannot parse angle term in '" + text + "'");
+    }
+    try {
+      return sign * std::stod(text.substr(start, pos - start));
+    } catch (const std::exception&) {
+      fail(line, "bad numeric literal in '" + text + "'");
+    }
+  };
+
+  double value = parse_term();
+  while (pos < text.size()) {
+    const char op = text[pos];
+    if (op != '*' && op != '/') {
+      fail(line, "unexpected character '" + std::string(1, op) +
+                     "' in angle '" + text + "'");
+    }
+    ++pos;
+    const double rhs = parse_term();
+    if (op == '*') {
+      value *= rhs;
+    } else {
+      if (rhs == 0.0) {
+        fail(line, "division by zero in angle");
+      }
+      value /= rhs;
+    }
+  }
+  return value;
+}
+
+// Parses "<reg>[<idx>]" and returns idx; the register name is checked
+// against the declared one.
+std::size_t parse_qubit_ref(const std::string& token,
+                            const std::string& reg_name, std::size_t width,
+                            std::size_t line) {
+  const std::string t = trim(token);
+  const std::size_t open = t.find('[');
+  const std::size_t close = t.find(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    fail(line, "expected qubit reference like q[0], got '" + t + "'");
+  }
+  if (trim(t.substr(0, open)) != reg_name) {
+    fail(line, "unknown register '" + t.substr(0, open) + "'");
+  }
+  std::size_t idx = 0;
+  try {
+    idx = static_cast<std::size_t>(std::stoul(t.substr(open + 1,
+                                                       close - open - 1)));
+  } catch (const std::exception&) {
+    fail(line, "bad qubit index in '" + t + "'");
+  }
+  if (idx >= width) {
+    fail(line, "qubit index " + std::to_string(idx) +
+                   " exceeds register width " + std::to_string(width));
+  }
+  return idx;
+}
+
+}  // namespace
+
+ParsedQasm parse_qasm(const std::string& source) {
+  std::istringstream in(source);
+  std::string raw_line;
+  std::size_t line_number = 0;
+
+  std::optional<std::string> reg_name;
+  std::size_t width = 0;
+  std::optional<Circuit> circuit;
+  std::vector<double> parameters;
+
+  bool saw_version = false;
+
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    // Strip comments and whitespace; a line can carry several statements.
+    const std::size_t comment = raw_line.find("//");
+    if (comment != std::string::npos) {
+      raw_line = raw_line.substr(0, comment);
+    }
+    std::stringstream statements(raw_line);
+    std::string stmt;
+    while (std::getline(statements, stmt, ';')) {
+      stmt = trim(stmt);
+      if (stmt.empty()) continue;
+
+      if (stmt.rfind("OPENQASM", 0) == 0) {
+        saw_version = true;
+        continue;
+      }
+      if (stmt.rfind("include", 0) == 0) {
+        continue;
+      }
+      if (stmt.rfind("creg", 0) == 0) {
+        continue;  // classical registers are irrelevant to simulation
+      }
+      if (stmt.rfind("qreg", 0) == 0) {
+        if (reg_name.has_value()) {
+          fail(line_number, "multiple qreg declarations are not supported");
+        }
+        const std::string decl = trim(stmt.substr(4));
+        const std::size_t open = decl.find('[');
+        const std::size_t close = decl.find(']');
+        if (open == std::string::npos || close == std::string::npos) {
+          fail(line_number, "malformed qreg declaration '" + decl + "'");
+        }
+        reg_name = trim(decl.substr(0, open));
+        try {
+          width = static_cast<std::size_t>(
+              std::stoul(decl.substr(open + 1, close - open - 1)));
+        } catch (const std::exception&) {
+          fail(line_number, "bad register width in '" + decl + "'");
+        }
+        if (width == 0) {
+          fail(line_number, "qreg width must be positive");
+        }
+        circuit.emplace(width);
+        continue;
+      }
+
+      if (!circuit.has_value()) {
+        fail(line_number, "gate statement before qreg declaration");
+      }
+
+      // Gate name = leading identifier.
+      std::size_t name_end = 0;
+      while (name_end < stmt.size() &&
+             (std::isalnum(static_cast<unsigned char>(stmt[name_end])))) {
+        ++name_end;
+      }
+      const std::string gate = stmt.substr(0, name_end);
+      std::string rest = trim(stmt.substr(name_end));
+
+      if (gate == "rx" || gate == "ry" || gate == "rz") {
+        if (rest.empty() || rest.front() != '(') {
+          fail(line_number, gate + " requires an angle argument");
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+          fail(line_number, "missing ')' in " + gate + " argument");
+        }
+        const double angle = parse_angle(rest.substr(1, close - 1),
+                                         line_number);
+        const std::size_t qubit = parse_qubit_ref(
+            rest.substr(close + 1), *reg_name, width, line_number);
+        circuit->add_rotation(gates::axis_from_name(gate), qubit);
+        parameters.push_back(angle);
+        continue;
+      }
+
+      if (gate == "h" || gate == "x" || gate == "y" || gate == "z" ||
+          gate == "s" || gate == "t") {
+        const std::size_t qubit =
+            parse_qubit_ref(rest, *reg_name, width, line_number);
+        if (gate == "h") circuit->add_hadamard(qubit);
+        if (gate == "x") circuit->add_pauli_x(qubit);
+        if (gate == "y") circuit->add_pauli_y(qubit);
+        if (gate == "z") circuit->add_pauli_z(qubit);
+        if (gate == "s") circuit->add_s(qubit);
+        if (gate == "t") circuit->add_t(qubit);
+        continue;
+      }
+
+      if (gate == "crz") {
+        if (rest.empty() || rest.front() != '(') {
+          fail(line_number, "crz requires an angle argument");
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+          fail(line_number, "missing ')' in crz argument");
+        }
+        const double angle =
+            parse_angle(rest.substr(1, close - 1), line_number);
+        const std::string operands = rest.substr(close + 1);
+        const std::size_t comma = operands.find(',');
+        if (comma == std::string::npos) {
+          fail(line_number, "crz requires two qubit operands");
+        }
+        const std::size_t control = parse_qubit_ref(
+            operands.substr(0, comma), *reg_name, width, line_number);
+        const std::size_t target = parse_qubit_ref(
+            operands.substr(comma + 1), *reg_name, width, line_number);
+        circuit->add_controlled_rotation(gates::Axis::kZ, control, target);
+        parameters.push_back(angle);
+        continue;
+      }
+
+      if (gate == "cz" || gate == "cx" || gate == "swap") {
+        const std::size_t comma = rest.find(',');
+        if (comma == std::string::npos) {
+          fail(line_number, gate + " requires two qubit operands");
+        }
+        const std::size_t a = parse_qubit_ref(rest.substr(0, comma),
+                                              *reg_name, width, line_number);
+        const std::size_t b = parse_qubit_ref(rest.substr(comma + 1),
+                                              *reg_name, width, line_number);
+        if (gate == "cz") circuit->add_cz(a, b);
+        if (gate == "cx") circuit->add_cnot(a, b);
+        if (gate == "swap") circuit->add_swap(a, b);
+        continue;
+      }
+
+      fail(line_number, "unsupported statement '" + stmt + "'");
+    }
+  }
+
+  if (!saw_version) {
+    throw InvalidArgument("parse_qasm: missing OPENQASM version header");
+  }
+  if (!circuit.has_value()) {
+    throw InvalidArgument("parse_qasm: no qreg declaration found");
+  }
+  return ParsedQasm{std::move(*circuit), std::move(parameters)};
+}
+
+}  // namespace qbarren

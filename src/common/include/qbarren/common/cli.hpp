@@ -1,0 +1,48 @@
+// Minimal command-line option parsing for the example and bench binaries.
+//
+// Supports `--name value` and `--name=value` pairs plus bare `--flag`
+// booleans. Unknown options throw, so typos surface instead of silently
+// running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qbarren {
+
+class CliArgs {
+ public:
+  /// Parses argv. `allowed` lists recognized option names (without the
+  /// leading dashes); an empty list accepts anything.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> allowed = {});
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --qubits 2,4,6,8,10.
+  [[nodiscard]] std::vector<int> get_int_list(
+      const std::string& name, const std::vector<int>& fallback) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qbarren

@@ -1,0 +1,57 @@
+// Error types used throughout qbarren.
+//
+// The library reports precondition violations and invalid configuration via
+// exceptions derived from qbarren::Error, so callers can distinguish library
+// failures from std:: failures. Hot simulation kernels validate at their
+// public entry points only; inner loops assume validated inputs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qbarren {
+
+/// Base class of every exception thrown by qbarren.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller-supplied argument violated a documented precondition
+/// (bad qubit index, mismatched dimension, empty range, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A name lookup failed (unknown initializer / optimizer / gate name).
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine could not produce a meaningful result
+/// (degenerate regression, non-normalizable state, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const std::string& msg) {
+  throw InvalidArgument(msg + " (violated: " + expr + ")");
+}
+}  // namespace detail
+
+}  // namespace qbarren
+
+/// Precondition check used at public API boundaries. Throws
+/// qbarren::InvalidArgument carrying both a human message and the
+/// violated expression.
+#define QBARREN_REQUIRE(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::qbarren::detail::throw_invalid_argument(#expr, (msg));    \
+    }                                                             \
+  } while (false)

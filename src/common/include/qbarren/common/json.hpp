@@ -1,0 +1,80 @@
+// Minimal JSON document builder (write-only).
+//
+// Experiment results are exported as JSON for downstream plotting. This is
+// a value-tree builder with a standards-compliant serializer (string
+// escaping, non-finite numbers rendered as null per RFC 8259's exclusion);
+// qbarren never needs to *parse* JSON, so no parser is provided.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qbarren {
+
+class JsonValue {
+ public:
+  /// null by default.
+  JsonValue() = default;
+
+  [[nodiscard]] static JsonValue null();
+  [[nodiscard]] static JsonValue boolean(bool value);
+  [[nodiscard]] static JsonValue number(double value);
+  [[nodiscard]] static JsonValue integer(std::int64_t value);
+  [[nodiscard]] static JsonValue string(std::string value);
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  /// Array append; requires an array value.
+  void push_back(JsonValue element);
+
+  /// Object insert/overwrite; requires an object value.
+  void set(const std::string& key, JsonValue value);
+
+  /// Convenience typed setters (object values only).
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::size_t value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, bool value);
+
+  /// Builds a JSON array from a numeric vector.
+  [[nodiscard]] static JsonValue number_array(
+      const std::vector<double>& values);
+
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray,
+                    kObject };
+
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // std::map keeps key order deterministic — important for golden tests.
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Writes `value.dump(indent)` to a file; throws qbarren::Error on I/O
+/// failure.
+void write_json_file(const JsonValue& value, const std::string& path,
+                     int indent = 2);
+
+}  // namespace qbarren

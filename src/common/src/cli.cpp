@@ -1,0 +1,123 @@
+#include "qbarren/common/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> allowed) {
+  auto check_allowed = [&](const std::string& name) {
+    if (!allowed.empty() &&
+        std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw InvalidArgument("unknown option --" + name);
+    }
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      std::string name = arg.substr(0, eq);
+      check_allowed(name);
+      values_[name] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another option or absent, in
+    // which case it is a boolean flag.
+    check_allowed(arg);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& name,
+                                std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name +
+                          " expects an unsigned integer, got '" + it->second +
+                          "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + name + " expects a boolean, got '" + v +
+                        "'");
+}
+
+std::vector<int> CliArgs::get_int_list(const std::string& name,
+                                       const std::vector<int>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<int> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    try {
+      out.push_back(std::stoi(tok));
+    } catch (const std::exception&) {
+      throw InvalidArgument("option --" + name +
+                            " expects a comma-separated integer list, got '" +
+                            it->second + "'");
+    }
+  }
+  if (out.empty()) {
+    throw InvalidArgument("option --" + name + " produced an empty list");
+  }
+  return out;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,219 @@
+#include "qbarren/common/json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.integer_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue element) {
+  QBARREN_REQUIRE(kind_ == Kind::kArray,
+                  "JsonValue::push_back: not an array");
+  array_.push_back(std::move(element));
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+  QBARREN_REQUIRE(kind_ == Kind::kObject, "JsonValue::set: not an object");
+  object_[key] = std::move(value);
+}
+
+void JsonValue::set(const std::string& key, double value) {
+  set(key, number(value));
+}
+void JsonValue::set(const std::string& key, std::int64_t value) {
+  set(key, integer(value));
+}
+void JsonValue::set(const std::string& key, std::size_t value) {
+  set(key, integer(static_cast<std::int64_t>(value)));
+}
+void JsonValue::set(const std::string& key, const std::string& value) {
+  set(key, string(value));
+}
+void JsonValue::set(const std::string& key, const char* value) {
+  set(key, string(value));
+}
+void JsonValue::set(const std::string& key, bool value) {
+  set(key, boolean(value));
+}
+
+JsonValue JsonValue::number_array(const std::vector<double>& values) {
+  JsonValue arr = array();
+  for (const double v : values) {
+    arr.push_back(number(v));
+  }
+  return arr;
+}
+
+namespace {
+
+void escape_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // RFC 8259 has no NaN/Inf
+    return;
+  }
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << v;
+  out += oss.str();
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      append_number(out, number_);
+      return;
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      return;
+    case Kind::kString:
+      escape_string(out, string_);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.dump_impl(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void write_json_file(const JsonValue& value, const std::string& path,
+                     int indent) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("write_json_file: cannot open " + path);
+  }
+  out << value.dump(indent) << '\n';
+  if (!out) {
+    throw Error("write_json_file: write failed for " + path);
+  }
+}
+
+}  // namespace qbarren

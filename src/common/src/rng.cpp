@@ -1,0 +1,96 @@
+#include "qbarren/common/rng.hpp"
+
+#include <cmath>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::child(std::uint64_t stream_index) const {
+  // Mix the parent seed with the stream index through two splitmix rounds;
+  // a single round would make child(0) of seed s collide with Rng(s).
+  return Rng(splitmix64(splitmix64(seed_) ^ (stream_index + 1)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  QBARREN_REQUIRE(lo < hi, "uniform: lo must be < hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  QBARREN_REQUIRE(stddev >= 0.0, "normal: stddev must be non-negative");
+  if (stddev == 0.0) {
+    return mean;
+  }
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::beta(double alpha, double beta_param) {
+  QBARREN_REQUIRE(alpha > 0.0 && beta_param > 0.0,
+                  "beta: shape parameters must be positive");
+  std::gamma_distribution<double> ga(alpha, 1.0);
+  std::gamma_distribution<double> gb(beta_param, 1.0);
+  const double x = ga(engine_);
+  const double y = gb(engine_);
+  const double sum = x + y;
+  // Both gamma variates can underflow to zero for tiny shapes; fall back to
+  // the distribution mean rather than dividing 0/0.
+  if (sum <= 0.0) {
+    return alpha / (alpha + beta_param);
+  }
+  return x / sum;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  QBARREN_REQUIRE(lo <= hi, "uniform_int: lo must be <= hi");
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  QBARREN_REQUIRE(n > 0, "index: n must be positive");
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+bool Rng::bernoulli(double p) {
+  QBARREN_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0, 1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n) {
+  std::vector<double> out(n);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (auto& v : out) {
+    v = dist(engine_);
+  }
+  return out;
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  QBARREN_REQUIRE(lo < hi, "uniform_vector: lo must be < hi");
+  std::vector<double> out(n);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (auto& v : out) {
+    v = dist(engine_);
+  }
+  return out;
+}
+
+}  // namespace qbarren

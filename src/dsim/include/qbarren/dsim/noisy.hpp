@@ -1,0 +1,52 @@
+// Noisy circuit execution and noisy cost functions.
+//
+// A NoiseModel attaches Kraus channels after gates; simulate_noisy runs a
+// qbarren::Circuit on a DensityMatrix under that model. Because the
+// channels carry no trainable parameters, the parameter-shift rule remains
+// exact for noisy expectation values — `noisy_parameter_shift_gradient`
+// exploits that to study barren plateaus under noise (cf. noise-induced
+// barren plateaus, Wang et al. 2021).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/dsim/channels.hpp"
+
+namespace qbarren {
+
+struct NoiseModel {
+  /// Applied to the target qubit after every single-qubit gate, and to
+  /// both qubits after a two-qubit gate when `two_qubit` is unset.
+  std::optional<KrausChannel> single_qubit;
+  /// Applied to the qubit pair after every two-qubit gate.
+  std::optional<KrausChannel> two_qubit;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return !single_qubit.has_value() && !two_qubit.has_value();
+  }
+};
+
+/// Uniform depolarizing model: depolarizing(p1) after one-qubit gates,
+/// depolarizing_2q(p2) after two-qubit gates.
+[[nodiscard]] NoiseModel make_depolarizing_model(double p1, double p2);
+
+/// Runs `circuit` from |0...0><0...0| under `noise`.
+[[nodiscard]] DensityMatrix simulate_noisy(const Circuit& circuit,
+                                           std::span<const double> params,
+                                           const NoiseModel& noise);
+
+/// tr(H rho(theta)) for the noisy execution.
+[[nodiscard]] double noisy_expectation(const Circuit& circuit,
+                                       std::span<const double> params,
+                                       const Observable& observable,
+                                       const NoiseModel& noise);
+
+/// Exact dC/dtheta_index of the noisy expectation via parameter shift.
+[[nodiscard]] double noisy_parameter_shift_partial(
+    const Circuit& circuit, std::span<const double> params,
+    const Observable& observable, const NoiseModel& noise,
+    std::size_t index);
+
+}  // namespace qbarren

@@ -1,0 +1,126 @@
+// Gradient engines for expectation-value cost functions.
+//
+// All engines differentiate C(theta) = <0| U(theta)^dag H U(theta) |0>.
+// Three exact engines are provided (they agree to numerical precision and
+// are cross-checked in the property tests) plus one stochastic estimator:
+//
+//   ParameterShift   — the paper's method: C'(t) = (C(t+pi/2) - C(t-pi/2))/2
+//                      per parameter; 2 circuit evaluations per parameter.
+//   FiniteDifference — central differences; a convention-free oracle.
+//   Adjoint          — reverse-mode sweep (Jones & Gacon 2020): full
+//                      gradient in O(ops) gate applications with three
+//                      state vectors; the engine used by the training loop.
+//   Spsa             — simultaneous-perturbation estimate; 2 evaluations
+//                      for the whole gradient, unbiased but noisy.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/obs/observable.hpp"
+
+namespace qbarren {
+
+struct ValueAndGradient {
+  double value = 0.0;
+  std::vector<double> gradient;
+};
+
+class GradientEngine {
+ public:
+  virtual ~GradientEngine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Full gradient dC/dtheta at `params`.
+  [[nodiscard]] virtual std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const = 0;
+
+  /// Single partial derivative dC/dtheta_index. The default computes the
+  /// full gradient; engines with a cheaper per-parameter path override it.
+  [[nodiscard]] virtual double partial(const Circuit& circuit,
+                                       const Observable& observable,
+                                       std::span<const double> params,
+                                       std::size_t index) const;
+
+  /// Cost value and full gradient together. The default performs one extra
+  /// forward simulation; Adjoint overrides it for free.
+  [[nodiscard]] virtual ValueAndGradient value_and_gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const;
+
+ protected:
+  static void check_args(const Circuit& circuit, const Observable& observable,
+                         std::span<const double> params);
+};
+
+class ParameterShiftEngine final : public GradientEngine {
+ public:
+  [[nodiscard]] std::string name() const override { return "parameter-shift"; }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+  [[nodiscard]] double partial(const Circuit& circuit,
+                               const Observable& observable,
+                               std::span<const double> params,
+                               std::size_t index) const override;
+};
+
+class FiniteDifferenceEngine final : public GradientEngine {
+ public:
+  /// Central differences with step `h` (default balances truncation vs
+  /// cancellation for double precision on O(1) costs).
+  explicit FiniteDifferenceEngine(double h = 1e-6);
+  [[nodiscard]] std::string name() const override {
+    return "finite-difference";
+  }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+  [[nodiscard]] double partial(const Circuit& circuit,
+                               const Observable& observable,
+                               std::span<const double> params,
+                               std::size_t index) const override;
+
+ private:
+  double h_;
+};
+
+class AdjointEngine final : public GradientEngine {
+ public:
+  [[nodiscard]] std::string name() const override { return "adjoint"; }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+  [[nodiscard]] ValueAndGradient value_and_gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+};
+
+/// Simultaneous-perturbation stochastic approximation. Each call draws a
+/// fresh Rademacher perturbation from an internal child stream of the seed
+/// passed at construction, so a given engine instance is deterministic.
+class SpsaEngine final : public GradientEngine {
+ public:
+  explicit SpsaEngine(std::uint64_t seed, double c = 0.01);
+  [[nodiscard]] std::string name() const override { return "spsa"; }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+
+ private:
+  mutable Rng rng_;
+  double c_;
+};
+
+/// Builds an engine by name: "parameter-shift", "finite-difference",
+/// "adjoint", "spsa" (spsa takes seed 0). Throws NotFound otherwise.
+[[nodiscard]] std::unique_ptr<GradientEngine> make_gradient_engine(
+    const std::string& name);
+
+}  // namespace qbarren

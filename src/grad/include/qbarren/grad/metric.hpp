@@ -1,0 +1,31 @@
+// Fubini-Study (quantum geometric) metric tensor.
+//
+// Quantum natural gradient (paper §II-b; Wierichs et al. 2020) replaces
+// the Euclidean gradient step with F^{-1} g, where
+//   F_ij = Re( <d_i psi | d_j psi> - <d_i psi|psi><psi|d_j psi> )
+// is the real part of the quantum geometric tensor. qbarren computes the
+// *full* (not block-diagonal) metric exactly from the state vector:
+// one derivative state |d_i psi> per parameter (O(P * ops) gate
+// applications), then O(P^2) inner products. The paper's related-work
+// section flags the metric's cost as QNG's main drawback — visible
+// directly in bench_ablation_qng.
+#pragma once
+
+#include <span>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/linalg/matrix.hpp"
+
+namespace qbarren {
+
+/// All derivative states |d_i psi> = U_N .. dU_i .. U_1 |0...0>, indexed
+/// by parameter. Exposed for tests and custom geometry analyses.
+[[nodiscard]] std::vector<StateVector> derivative_states(
+    const Circuit& circuit, std::span<const double> params);
+
+/// The P x P Fubini-Study metric at `params`. Symmetric positive
+/// semidefinite (up to roundoff).
+[[nodiscard]] RealMatrix fubini_study_metric(const Circuit& circuit,
+                                             std::span<const double> params);
+
+}  // namespace qbarren

@@ -1,0 +1,53 @@
+#include "qbarren/grad/engine.hpp"
+
+namespace qbarren {
+
+// Reverse-mode ("adjoint") differentiation for state-vector simulation.
+//
+// With |phi_k> = U_k ... U_1 |0> and C = <phi_N| H |phi_N>, the derivative
+// with respect to the parameter of gate k is
+//   dC/dtheta_k = 2 Re <lambda_k | dU_k/dtheta_k | phi_{k-1}>,
+// where |lambda_k> = U_{k+1}^dag ... U_N^dag H |phi_N>. Sweeping k from N
+// down to 1 while un-applying each gate from |phi> and |lambda> yields the
+// full gradient with O(N) gate applications and three live state vectors
+// (phi, lambda, and a scratch vector for dU_k |phi>).
+//
+// Requirement: H must be applied exactly once (it is generally not unitary,
+// so it cannot be "un-applied"); this is why lambda is seeded with H|phi_N>
+// before the sweep.
+ValueAndGradient AdjointEngine::value_and_gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  check_args(circuit, observable, params);
+
+  ValueAndGradient out;
+  out.gradient.assign(params.size(), 0.0);
+
+  StateVector phi = circuit.simulate(params);
+  StateVector lambda = observable.apply(phi);
+  out.value = phi.inner_product(lambda).real();
+
+  const auto& ops = circuit.operations();
+  StateVector scratch(circuit.num_qubits());
+  for (std::size_t k = ops.size(); k-- > 0;) {
+    circuit.apply_operation_inverse(k, phi, params);  // phi = |phi_{k-1}>
+    if (is_parameterized(ops[k].kind)) {
+      scratch = phi;
+      circuit.apply_operation_derivative(k, scratch, params);
+      // Accumulate: circuits built by qbarren use one parameter per gate,
+      // but += keeps shared-parameter circuits correct too.
+      out.gradient[ops[k].param_index] +=
+          2.0 * lambda.inner_product(scratch).real();
+    }
+    circuit.apply_operation_inverse(k, lambda, params);
+  }
+  return out;
+}
+
+std::vector<double> AdjointEngine::gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  return value_and_gradient(circuit, observable, params).gradient;
+}
+
+}  // namespace qbarren

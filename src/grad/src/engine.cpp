@@ -1,0 +1,50 @@
+#include "qbarren/grad/engine.hpp"
+
+namespace qbarren {
+
+void GradientEngine::check_args(const Circuit& circuit,
+                                const Observable& observable,
+                                std::span<const double> params) {
+  QBARREN_REQUIRE(circuit.num_qubits() == observable.num_qubits(),
+                  "GradientEngine: circuit/observable width mismatch");
+  QBARREN_REQUIRE(params.size() == circuit.num_parameters(),
+                  "GradientEngine: parameter count mismatch");
+}
+
+double GradientEngine::partial(const Circuit& circuit,
+                               const Observable& observable,
+                               std::span<const double> params,
+                               std::size_t index) const {
+  check_args(circuit, observable, params);
+  QBARREN_REQUIRE(index < params.size(),
+                  "GradientEngine::partial: index out of range");
+  return gradient(circuit, observable, params)[index];
+}
+
+ValueAndGradient GradientEngine::value_and_gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  check_args(circuit, observable, params);
+  ValueAndGradient out;
+  out.value = observable.expectation(circuit.simulate(params));
+  out.gradient = gradient(circuit, observable, params);
+  return out;
+}
+
+std::unique_ptr<GradientEngine> make_gradient_engine(const std::string& name) {
+  if (name == "parameter-shift") {
+    return std::make_unique<ParameterShiftEngine>();
+  }
+  if (name == "finite-difference") {
+    return std::make_unique<FiniteDifferenceEngine>();
+  }
+  if (name == "adjoint") {
+    return std::make_unique<AdjointEngine>();
+  }
+  if (name == "spsa") {
+    return std::make_unique<SpsaEngine>(0);
+  }
+  throw NotFound("make_gradient_engine: unknown engine '" + name + "'");
+}
+
+}  // namespace qbarren

@@ -1,0 +1,35 @@
+#include "qbarren/grad/engine.hpp"
+
+namespace qbarren {
+
+FiniteDifferenceEngine::FiniteDifferenceEngine(double h) : h_(h) {
+  QBARREN_REQUIRE(h > 0.0, "FiniteDifferenceEngine: step must be positive");
+}
+
+double FiniteDifferenceEngine::partial(const Circuit& circuit,
+                                       const Observable& observable,
+                                       std::span<const double> params,
+                                       std::size_t index) const {
+  check_args(circuit, observable, params);
+  QBARREN_REQUIRE(index < params.size(),
+                  "FiniteDifferenceEngine::partial: index out of range");
+  std::vector<double> work(params.begin(), params.end());
+  work[index] = params[index] + h_;
+  const double plus = observable.expectation(circuit.simulate(work));
+  work[index] = params[index] - h_;
+  const double minus = observable.expectation(circuit.simulate(work));
+  return (plus - minus) / (2.0 * h_);
+}
+
+std::vector<double> FiniteDifferenceEngine::gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  check_args(circuit, observable, params);
+  std::vector<double> grad(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    grad[i] = partial(circuit, observable, params, i);
+  }
+  return grad;
+}
+
+}  // namespace qbarren

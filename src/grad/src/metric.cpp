@@ -1,0 +1,63 @@
+#include "qbarren/grad/metric.hpp"
+
+namespace qbarren {
+
+std::vector<StateVector> derivative_states(const Circuit& circuit,
+                                           std::span<const double> params) {
+  QBARREN_REQUIRE(params.size() == circuit.num_parameters(),
+                  "derivative_states: parameter count mismatch");
+  const auto& ops = circuit.operations();
+
+  // Forward pass: remember the state entering every parameterized op.
+  std::vector<std::pair<std::size_t, StateVector>> checkpoints;  // (op, state)
+  checkpoints.reserve(params.size());
+  StateVector phi(circuit.num_qubits());
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    if (is_parameterized(ops[k].kind)) {
+      checkpoints.emplace_back(k, phi);
+    }
+    circuit.apply_operation(k, phi, params);
+  }
+
+  // For each checkpoint: apply the derivative of its op, then the rest of
+  // the circuit. Order derivative states by parameter index.
+  std::vector<StateVector> derivatives(params.size(),
+                                       StateVector(circuit.num_qubits()));
+  for (auto& [op_index, state] : checkpoints) {
+    StateVector d = std::move(state);
+    circuit.apply_operation_derivative(op_index, d, params);
+    for (std::size_t k = op_index + 1; k < ops.size(); ++k) {
+      circuit.apply_operation(k, d, params);
+    }
+    derivatives[ops[op_index].param_index] = std::move(d);
+  }
+  return derivatives;
+}
+
+RealMatrix fubini_study_metric(const Circuit& circuit,
+                               std::span<const double> params) {
+  QBARREN_REQUIRE(circuit.num_parameters() >= 1,
+                  "fubini_study_metric: circuit has no parameters");
+  const StateVector psi = circuit.simulate(params);
+  const std::vector<StateVector> d = derivative_states(circuit, params);
+  const std::size_t p = d.size();
+
+  // Berry connections a_i = <psi | d_i psi>.
+  std::vector<Complex> a(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    a[i] = psi.inner_product(d[i]);
+  }
+
+  RealMatrix f(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) {
+      const Complex overlap = d[i].inner_product(d[j]);
+      const double value = (overlap - std::conj(a[i]) * a[j]).real();
+      f.at_unchecked(i, j) = value;
+      f.at_unchecked(j, i) = value;
+    }
+  }
+  return f;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,67 @@
+#include <cmath>
+
+#include "qbarren/grad/engine.hpp"
+
+namespace qbarren {
+
+namespace {
+
+// Evaluates C with params[index] shifted by +/- pi/2. All trainable gates
+// in qbarren are single-parameter Pauli rotations R(theta) = exp(-i theta
+// P/2), for which the two-term shift rule is exact (Schuld et al. 2019).
+double shifted_cost(const Circuit& circuit, const Observable& observable,
+                    std::span<const double> params, std::size_t index,
+                    double shift) {
+  std::vector<double> shifted(params.begin(), params.end());
+  shifted[index] += shift;
+  return observable.expectation(circuit.simulate(shifted));
+}
+
+}  // namespace
+
+double ParameterShiftEngine::partial(const Circuit& circuit,
+                                     const Observable& observable,
+                                     std::span<const double> params,
+                                     std::size_t index) const {
+  check_args(circuit, observable, params);
+  QBARREN_REQUIRE(index < params.size(),
+                  "ParameterShiftEngine::partial: index out of range");
+  constexpr double kShift = M_PI / 2.0;
+
+  if (circuit.operation_for_parameter(index).kind ==
+      OpKind::kControlledRotation) {
+    // Controlled rotations have generator eigenvalues {0, +-1/2}: the
+    // cost carries frequencies 1/2 and 1 in theta, and the exact rule is
+    // the four-term shift (Anselmetti et al. 2021)
+    //   dC = a [C(+pi/2) - C(-pi/2)] + b [C(+3pi/2) - C(-3pi/2)],
+    //   a = (sqrt(2)+1)/(4 sqrt(2)),  b = -(sqrt(2)-1)/(4 sqrt(2)).
+    const double sqrt2 = std::sqrt(2.0);
+    const double a = (sqrt2 + 1.0) / (4.0 * sqrt2);
+    const double b = -(sqrt2 - 1.0) / (4.0 * sqrt2);
+    const double d1 =
+        shifted_cost(circuit, observable, params, index, kShift) -
+        shifted_cost(circuit, observable, params, index, -kShift);
+    const double d3 =
+        shifted_cost(circuit, observable, params, index, 3.0 * kShift) -
+        shifted_cost(circuit, observable, params, index, -3.0 * kShift);
+    return a * d1 + b * d3;
+  }
+
+  const double plus = shifted_cost(circuit, observable, params, index, kShift);
+  const double minus =
+      shifted_cost(circuit, observable, params, index, -kShift);
+  return 0.5 * (plus - minus);
+}
+
+std::vector<double> ParameterShiftEngine::gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  check_args(circuit, observable, params);
+  std::vector<double> grad(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    grad[i] = partial(circuit, observable, params, i);
+  }
+  return grad;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,42 @@
+// Fan-in / fan-out conventions for quantum parameter tensors.
+//
+// Classical initializers are defined in terms of a weight matrix's fan-in
+// and fan-out. A PQC parameter vector has no canonical matrix shape; the
+// paper (which calls PyTorch initializers on its parameter tensors) never
+// states the convention, so we expose it as an explicit policy:
+//
+//   * kLayerTensor (default) — the parameter vector is the (layers x
+//     params-per-layer) tensor recorded by the ansatz builder; PyTorch
+//     convention for a 2-D tensor is fan_in = size of dim 1 (params per
+//     layer) and fan_out = size of dim 0 (layers). For the paper's deep
+//     variance circuits this makes fan_out (100 layers) dominate the Xavier
+//     denominator, which is what separates Xavier from LeCun/He and
+//     reproduces the paper's ordering.
+//   * kQubitSquare — fan_in = fan_out = qubit count, a common alternative
+//     in QNN codebases; ablated in bench_ablation_fanmode.
+//
+// Circuits without layer-shape metadata fall back to treating the whole
+// parameter vector as a single layer.
+#pragma once
+
+#include "qbarren/circuit/circuit.hpp"
+
+namespace qbarren {
+
+enum class FanMode {
+  kLayerTensor,
+  kQubitSquare,
+};
+
+struct FanPair {
+  std::size_t fan_in = 1;
+  std::size_t fan_out = 1;
+};
+
+/// Computes the (fan_in, fan_out) pair for a circuit under a policy.
+[[nodiscard]] FanPair compute_fans(const Circuit& circuit, FanMode mode);
+
+/// Human-readable policy name ("layer-tensor" / "qubit-square").
+[[nodiscard]] std::string fan_mode_name(FanMode mode);
+
+}  // namespace qbarren

@@ -1,0 +1,209 @@
+// Parameter initialization strategies (paper §III).
+//
+// Each strategy maps a circuit (whose parameter vector is conceptually a
+// layers x params-per-layer tensor, see fan.hpp) and an Rng to a concrete
+// parameter vector. The six strategies the paper evaluates:
+//
+//   Random          theta ~ U[0, 2*pi)                (BP benchmark)
+//   Xavier normal   theta ~ N(0, 2 / (fan_in + fan_out))
+//   Xavier uniform  theta ~ U(-l, l), l = sqrt(6 / (fan_in + fan_out))
+//   He              theta ~ N(0, 2 / fan_in)
+//   LeCun (normal)  theta ~ N(0, 1 / fan_in)
+//   Orthogonal      rows of a Haar orthogonal matrix (QR of a Gaussian)
+//
+// Extensions beyond the paper (used in ablation benches):
+//   LeCun uniform   theta ~ U(-1/sqrt(fan_in), 1/sqrt(fan_in)) (§III-B alt)
+//   He uniform      theta ~ U(-l, l), l = sqrt(6 / fan_in)
+//   Beta            theta ~ scale * Beta(alpha, beta)  (BeInit-style, §II-e)
+//   Zeros           theta = 0 (exact identity circuit; sanity baseline)
+//   Small normal    theta ~ N(0, sigma^2) with fixed sigma (Grant-style
+//                   near-identity start)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/init/fan.hpp"
+
+namespace qbarren {
+
+class Initializer {
+ public:
+  virtual ~Initializer() = default;
+
+  /// Canonical name used by the registry and in result tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Draws a parameter vector of size circuit.num_parameters().
+  [[nodiscard]] virtual std::vector<double> initialize(const Circuit& circuit,
+                                                       Rng& rng) const = 0;
+};
+
+/// theta_i ~ U[lo, hi); defaults to the standard [0, 2*pi) BP benchmark.
+class RandomInitializer final : public Initializer {
+ public:
+  explicit RandomInitializer(double lo = 0.0, double hi = 2.0 * M_PI);
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Gaussian with variance gain^2 * 2 / (fan_in + fan_out).
+class XavierNormalInitializer final : public Initializer {
+ public:
+  explicit XavierNormalInitializer(FanMode mode = FanMode::kLayerTensor,
+                                   double gain = 1.0);
+  [[nodiscard]] std::string name() const override { return "xavier-normal"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+  double gain_;
+};
+
+/// Uniform on (-l, l) with l = gain * sqrt(6 / (fan_in + fan_out)).
+class XavierUniformInitializer final : public Initializer {
+ public:
+  explicit XavierUniformInitializer(FanMode mode = FanMode::kLayerTensor,
+                                    double gain = 1.0);
+  [[nodiscard]] std::string name() const override { return "xavier-uniform"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+  double gain_;
+};
+
+/// Gaussian with variance 2 / fan_in (He normal).
+class HeInitializer final : public Initializer {
+ public:
+  explicit HeInitializer(FanMode mode = FanMode::kLayerTensor);
+  [[nodiscard]] std::string name() const override { return "he"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+};
+
+/// Uniform on (-l, l) with l = sqrt(6 / fan_in) (He uniform; extension).
+class HeUniformInitializer final : public Initializer {
+ public:
+  explicit HeUniformInitializer(FanMode mode = FanMode::kLayerTensor);
+  [[nodiscard]] std::string name() const override { return "he-uniform"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+};
+
+/// Gaussian with variance 1 / fan_in (LeCun normal — the paper's LeCun).
+class LeCunNormalInitializer final : public Initializer {
+ public:
+  explicit LeCunNormalInitializer(FanMode mode = FanMode::kLayerTensor);
+  [[nodiscard]] std::string name() const override { return "lecun"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+};
+
+/// Uniform on (-1/sqrt(fan_in), 1/sqrt(fan_in)) (§III-B alternative).
+class LeCunUniformInitializer final : public Initializer {
+ public:
+  explicit LeCunUniformInitializer(FanMode mode = FanMode::kLayerTensor);
+  [[nodiscard]] std::string name() const override { return "lecun-uniform"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+};
+
+/// How the orthogonal matrix is shaped relative to the parameter tensor.
+enum class OrthogonalBlockMode {
+  /// Stacked fan_in x fan_in Haar orthogonal blocks: each layer's
+  /// parameter row is a row of an orthogonal matrix, so consecutive layers
+  /// are mutually orthogonal and entries have variance 1/fan_in. This is
+  /// the variant whose decay improvement clusters with He/LeCun as the
+  /// paper reports (§VI-A), so it is the default.
+  kPerLayerSquare,
+  /// One (fan_out x fan_in) semi-orthogonal matrix over the whole tensor
+  /// (PyTorch `orthogonal_` semantics). For deep circuits fan_out >>
+  /// fan_in and the entry variance drops to 1/fan_out, which makes this
+  /// variant *stronger* than Xavier — ablated in
+  /// bench_ablation_extra_inits.
+  kFullTensor,
+};
+
+/// Entries of Haar-random orthogonal matrices scaled by `gain`; see
+/// OrthogonalBlockMode for the two shaping conventions.
+class OrthogonalInitializer final : public Initializer {
+ public:
+  explicit OrthogonalInitializer(
+      FanMode mode = FanMode::kLayerTensor, double gain = 1.0,
+      OrthogonalBlockMode block_mode = OrthogonalBlockMode::kPerLayerSquare);
+  [[nodiscard]] std::string name() const override {
+    return block_mode_ == OrthogonalBlockMode::kPerLayerSquare
+               ? "orthogonal"
+               : "orthogonal-full";
+  }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  FanMode mode_;
+  double gain_;
+  OrthogonalBlockMode block_mode_;
+};
+
+/// theta ~ scale * Beta(alpha, beta) (BeInit-inspired; extension).
+class BetaInitializer final : public Initializer {
+ public:
+  explicit BetaInitializer(double alpha = 2.0, double beta = 2.0,
+                           double scale = M_PI);
+  [[nodiscard]] std::string name() const override { return "beta"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double scale_;
+};
+
+/// All-zero parameters: the circuit is exactly the identity (every
+/// rotation at angle 0), giving the best-case gradient signal for the
+/// identity-learning task. Deterministic sanity baseline.
+class ZerosInitializer final : public Initializer {
+ public:
+  [[nodiscard]] std::string name() const override { return "zeros"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+};
+
+/// theta ~ N(0, sigma^2) with a fixed, width-independent sigma
+/// (Grant-et-al-style near-identity start; extension).
+class SmallNormalInitializer final : public Initializer {
+ public:
+  explicit SmallNormalInitializer(double sigma = 0.1);
+  [[nodiscard]] std::string name() const override { return "small-normal"; }
+  [[nodiscard]] std::vector<double> initialize(const Circuit& circuit,
+                                               Rng& rng) const override;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace qbarren

@@ -1,0 +1,30 @@
+#include "qbarren/init/fan.hpp"
+
+namespace qbarren {
+
+FanPair compute_fans(const Circuit& circuit, FanMode mode) {
+  switch (mode) {
+    case FanMode::kLayerTensor: {
+      if (const auto& shape = circuit.layer_shape(); shape.has_value()) {
+        return FanPair{shape->params_per_layer, shape->layers};
+      }
+      // No metadata: whole vector as a single layer.
+      return FanPair{std::max<std::size_t>(1, circuit.num_parameters()), 1};
+    }
+    case FanMode::kQubitSquare:
+      return FanPair{circuit.num_qubits(), circuit.num_qubits()};
+  }
+  throw InvalidArgument("compute_fans: unknown fan mode");
+}
+
+std::string fan_mode_name(FanMode mode) {
+  switch (mode) {
+    case FanMode::kLayerTensor:
+      return "layer-tensor";
+    case FanMode::kQubitSquare:
+      return "qubit-square";
+  }
+  return "?";
+}
+
+}  // namespace qbarren

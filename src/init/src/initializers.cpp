@@ -1,0 +1,192 @@
+#include "qbarren/init/initializers.hpp"
+
+#include <cmath>
+
+#include "qbarren/linalg/qr.hpp"
+
+namespace qbarren {
+
+RandomInitializer::RandomInitializer(double lo, double hi) : lo_(lo), hi_(hi) {
+  QBARREN_REQUIRE(lo < hi, "RandomInitializer: lo must be < hi");
+}
+
+std::vector<double> RandomInitializer::initialize(const Circuit& circuit,
+                                                  Rng& rng) const {
+  return rng.uniform_vector(circuit.num_parameters(), lo_, hi_);
+}
+
+namespace {
+
+std::vector<double> gaussian_with_variance(std::size_t n, double variance,
+                                           Rng& rng) {
+  const double sigma = std::sqrt(variance);
+  std::vector<double> out(n);
+  for (auto& v : out) {
+    v = rng.normal(0.0, sigma);
+  }
+  return out;
+}
+
+std::vector<double> uniform_with_limit(std::size_t n, double limit, Rng& rng) {
+  if (limit <= 0.0) {
+    return std::vector<double>(n, 0.0);
+  }
+  return rng.uniform_vector(n, -limit, limit);
+}
+
+}  // namespace
+
+XavierNormalInitializer::XavierNormalInitializer(FanMode mode, double gain)
+    : mode_(mode), gain_(gain) {
+  QBARREN_REQUIRE(gain > 0.0, "XavierNormalInitializer: gain must be > 0");
+}
+
+std::vector<double> XavierNormalInitializer::initialize(const Circuit& circuit,
+                                                        Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double variance =
+      gain_ * gain_ * 2.0 /
+      static_cast<double>(fans.fan_in + fans.fan_out);
+  return gaussian_with_variance(circuit.num_parameters(), variance, rng);
+}
+
+XavierUniformInitializer::XavierUniformInitializer(FanMode mode, double gain)
+    : mode_(mode), gain_(gain) {
+  QBARREN_REQUIRE(gain > 0.0, "XavierUniformInitializer: gain must be > 0");
+}
+
+std::vector<double> XavierUniformInitializer::initialize(
+    const Circuit& circuit, Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double limit =
+      gain_ * std::sqrt(6.0 / static_cast<double>(fans.fan_in + fans.fan_out));
+  return uniform_with_limit(circuit.num_parameters(), limit, rng);
+}
+
+HeInitializer::HeInitializer(FanMode mode) : mode_(mode) {}
+
+std::vector<double> HeInitializer::initialize(const Circuit& circuit,
+                                              Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double variance = 2.0 / static_cast<double>(fans.fan_in);
+  return gaussian_with_variance(circuit.num_parameters(), variance, rng);
+}
+
+HeUniformInitializer::HeUniformInitializer(FanMode mode) : mode_(mode) {}
+
+std::vector<double> HeUniformInitializer::initialize(const Circuit& circuit,
+                                                     Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fans.fan_in));
+  return uniform_with_limit(circuit.num_parameters(), limit, rng);
+}
+
+LeCunNormalInitializer::LeCunNormalInitializer(FanMode mode) : mode_(mode) {}
+
+std::vector<double> LeCunNormalInitializer::initialize(const Circuit& circuit,
+                                                       Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double variance = 1.0 / static_cast<double>(fans.fan_in);
+  return gaussian_with_variance(circuit.num_parameters(), variance, rng);
+}
+
+LeCunUniformInitializer::LeCunUniformInitializer(FanMode mode)
+    : mode_(mode) {}
+
+std::vector<double> LeCunUniformInitializer::initialize(const Circuit& circuit,
+                                                        Rng& rng) const {
+  const FanPair fans = compute_fans(circuit, mode_);
+  const double limit = 1.0 / std::sqrt(static_cast<double>(fans.fan_in));
+  return uniform_with_limit(circuit.num_parameters(), limit, rng);
+}
+
+OrthogonalInitializer::OrthogonalInitializer(FanMode mode, double gain,
+                                             OrthogonalBlockMode block_mode)
+    : mode_(mode), gain_(gain), block_mode_(block_mode) {
+  QBARREN_REQUIRE(gain > 0.0, "OrthogonalInitializer: gain must be > 0");
+}
+
+std::vector<double> OrthogonalInitializer::initialize(const Circuit& circuit,
+                                                      Rng& rng) const {
+  const std::size_t num_params = circuit.num_parameters();
+  if (num_params == 0) {
+    return {};
+  }
+  const FanPair fans = compute_fans(circuit, mode_);
+  const std::size_t cols = std::max<std::size_t>(1, fans.fan_in);
+  // Enough rows to cover every parameter even when the circuit's parameter
+  // count is not layers * params_per_layer (e.g. hand-built circuits).
+  const std::size_t rows =
+      std::max<std::size_t>(fans.fan_out, (num_params + cols - 1) / cols);
+
+  std::vector<double> out(num_params);
+
+  if (block_mode_ == OrthogonalBlockMode::kPerLayerSquare) {
+    // Stacked cols x cols Haar blocks; row r of the stack is the parameter
+    // row of layer r.
+    std::size_t row = 0;
+    while (row < rows) {
+      const RealMatrix q = random_orthogonal(cols, cols, rng);
+      for (std::size_t br = 0; br < cols && row < rows; ++br, ++row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          const std::size_t idx = row * cols + c;
+          if (idx < num_params) {
+            out[idx] = gain_ * q.at_unchecked(br, c);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // kFullTensor: one semi-orthogonal (rows x cols) matrix. random_orthogonal
+  // needs rows >= cols; generate in the tall orientation and transpose back
+  // if the tensor is wide.
+  RealMatrix q(1, 1);
+  if (rows >= cols) {
+    q = random_orthogonal(rows, cols, rng);
+  } else {
+    q = random_orthogonal(cols, rows, rng).transpose();
+  }
+  for (std::size_t i = 0; i < num_params; ++i) {
+    out[i] = gain_ * q.at_unchecked(i / cols, i % cols);
+  }
+  return out;
+}
+
+BetaInitializer::BetaInitializer(double alpha, double beta, double scale)
+    : alpha_(alpha), beta_(beta), scale_(scale) {
+  QBARREN_REQUIRE(alpha > 0.0 && beta > 0.0,
+                  "BetaInitializer: shape parameters must be positive");
+  QBARREN_REQUIRE(scale > 0.0, "BetaInitializer: scale must be positive");
+}
+
+std::vector<double> BetaInitializer::initialize(const Circuit& circuit,
+                                                Rng& rng) const {
+  std::vector<double> out(circuit.num_parameters());
+  for (auto& v : out) {
+    v = scale_ * rng.beta(alpha_, beta_);
+  }
+  return out;
+}
+
+std::vector<double> ZerosInitializer::initialize(const Circuit& circuit,
+                                                 Rng& /*rng*/) const {
+  return std::vector<double>(circuit.num_parameters(), 0.0);
+}
+
+SmallNormalInitializer::SmallNormalInitializer(double sigma) : sigma_(sigma) {
+  QBARREN_REQUIRE(sigma >= 0.0,
+                  "SmallNormalInitializer: sigma must be non-negative");
+}
+
+std::vector<double> SmallNormalInitializer::initialize(const Circuit& circuit,
+                                                       Rng& rng) const {
+  std::vector<double> out(circuit.num_parameters());
+  for (auto& v : out) {
+    v = rng.normal(0.0, sigma_);
+  }
+  return out;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,23 @@
+// Structural predicates on matrices, used by tests and debug assertions.
+#pragma once
+
+#include "qbarren/linalg/matrix.hpp"
+
+namespace qbarren {
+
+/// True when uᴴu ≈ I within `tol` (max elementwise deviation).
+[[nodiscard]] bool is_unitary(const ComplexMatrix& u, double tol = 1e-10);
+
+/// True when m ≈ mᴴ within `tol`.
+[[nodiscard]] bool is_hermitian(const ComplexMatrix& m, double tol = 1e-10);
+
+/// True when qᵀq ≈ I within `tol` (columns orthonormal; q may be thin).
+[[nodiscard]] bool has_orthonormal_columns(const RealMatrix& q,
+                                           double tol = 1e-10);
+
+/// Max elementwise |a - b|; shapes must match.
+[[nodiscard]] double max_abs_diff(const ComplexMatrix& a,
+                                  const ComplexMatrix& b);
+[[nodiscard]] double max_abs_diff(const RealMatrix& a, const RealMatrix& b);
+
+}  // namespace qbarren

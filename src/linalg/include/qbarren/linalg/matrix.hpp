@@ -1,0 +1,194 @@
+// Dense row-major matrices over double or complex<double>.
+//
+// qbarren needs only small dense matrices: 2x2 / 4x4 gate unitaries, the
+// reference (slow-path) full-circuit unitaries used by tests, and the
+// Gaussian matrices fed to QR for orthogonal initialization. The class is
+// deliberately simple — no expression templates, no views — and validates
+// dimensions at every public operation.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {
+    QBARREN_REQUIRE(rows > 0 && cols > 0,
+                    "DenseMatrix: dimensions must be positive");
+  }
+
+  /// rows x cols matrix from row-major data.
+  DenseMatrix(std::size_t rows, std::size_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    QBARREN_REQUIRE(rows > 0 && cols > 0,
+                    "DenseMatrix: dimensions must be positive");
+    QBARREN_REQUIRE(data_.size() == rows * cols,
+                    "DenseMatrix: data size does not match dimensions");
+  }
+
+  [[nodiscard]] static DenseMatrix identity(std::size_t n) {
+    DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m(i, i) = T{1};
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] T& operator()(std::size_t r, std::size_t c) {
+    QBARREN_REQUIRE(r < rows_ && c < cols_, "DenseMatrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& operator()(std::size_t r, std::size_t c) const {
+    QBARREN_REQUIRE(r < rows_ && c < cols_, "DenseMatrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for inner loops.
+  [[nodiscard]] T& at_unchecked(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const T& at_unchecked(std::size_t r,
+                                      std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
+
+  [[nodiscard]] DenseMatrix transpose() const {
+    DenseMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        out.at_unchecked(c, r) = at_unchecked(r, c);
+      }
+    }
+    return out;
+  }
+
+  friend DenseMatrix operator*(const DenseMatrix& a, const DenseMatrix& b) {
+    QBARREN_REQUIRE(a.cols_ == b.rows_, "DenseMatrix: multiply shape mismatch");
+    DenseMatrix out(a.rows_, b.cols_);
+    for (std::size_t r = 0; r < a.rows_; ++r) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T av = a.at_unchecked(r, k);
+        if (av == T{}) continue;
+        for (std::size_t c = 0; c < b.cols_; ++c) {
+          out.at_unchecked(r, c) += av * b.at_unchecked(k, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  friend DenseMatrix operator+(const DenseMatrix& a, const DenseMatrix& b) {
+    QBARREN_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                    "DenseMatrix: add shape mismatch");
+    DenseMatrix out = a;
+    for (std::size_t i = 0; i < out.data_.size(); ++i) {
+      out.data_[i] += b.data_[i];
+    }
+    return out;
+  }
+
+  friend DenseMatrix operator-(const DenseMatrix& a, const DenseMatrix& b) {
+    QBARREN_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                    "DenseMatrix: subtract shape mismatch");
+    DenseMatrix out = a;
+    for (std::size_t i = 0; i < out.data_.size(); ++i) {
+      out.data_[i] -= b.data_[i];
+    }
+    return out;
+  }
+
+  friend DenseMatrix operator*(T scalar, const DenseMatrix& m) {
+    DenseMatrix out = m;
+    for (auto& v : out.data_) {
+      v *= scalar;
+    }
+    return out;
+  }
+
+  /// Matrix-vector product. Requires v.size() == cols().
+  [[nodiscard]] std::vector<T> apply(const std::vector<T>& v) const {
+    QBARREN_REQUIRE(v.size() == cols_, "DenseMatrix: apply shape mismatch");
+    std::vector<T> out(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) {
+        acc += at_unchecked(r, c) * v[c];
+      }
+      out[r] = acc;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = DenseMatrix<double>;
+using ComplexMatrix = DenseMatrix<std::complex<double>>;
+using Complex = std::complex<double>;
+
+/// Conjugate transpose of a complex matrix.
+[[nodiscard]] inline ComplexMatrix adjoint(const ComplexMatrix& m) {
+  ComplexMatrix out(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out.at_unchecked(c, r) = std::conj(m.at_unchecked(r, c));
+    }
+  }
+  return out;
+}
+
+/// Kronecker (tensor) product a (x) b.
+template <typename T>
+[[nodiscard]] DenseMatrix<T> kron(const DenseMatrix<T>& a,
+                                  const DenseMatrix<T>& b) {
+  DenseMatrix<T> out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const T av = a.at_unchecked(ar, ac);
+      if (av == T{}) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br) {
+        for (std::size_t bc = 0; bc < b.cols(); ++bc) {
+          out.at_unchecked(ar * b.rows() + br, ac * b.cols() + bc) =
+              av * b.at_unchecked(br, bc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Frobenius norm of the elementwise difference.
+template <typename T>
+[[nodiscard]] double frobenius_distance(const DenseMatrix<T>& a,
+                                        const DenseMatrix<T>& b) {
+  QBARREN_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "frobenius_distance: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const auto d = a.data()[i] - b.data()[i];
+    acc += std::norm(std::complex<double>(d));
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace qbarren

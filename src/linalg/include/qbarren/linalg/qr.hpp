@@ -1,0 +1,30 @@
+// Householder QR decomposition of real matrices.
+//
+// Orthogonal parameter initialization (Hu, Xiao & Pennington 2020; §III-E of
+// the paper) draws a Gaussian matrix and orthogonalizes it. We reproduce the
+// NumPy/PyTorch recipe: thin QR with the sign of each R diagonal folded into
+// Q, so the resulting distribution is Haar-uniform over orthogonal matrices.
+#pragma once
+
+#include "qbarren/linalg/matrix.hpp"
+
+namespace qbarren {
+
+struct QrResult {
+  RealMatrix q;  ///< m x k with orthonormal columns (k = min(m, n))
+  RealMatrix r;  ///< k x n upper triangular with non-negative diagonal
+};
+
+/// Thin Householder QR of an m x n matrix. Requires m >= 1, n >= 1.
+/// The factorization satisfies a = q * r with qᵀq = I and the diagonal of r
+/// non-negative (making the factorization unique for full-rank input and
+/// the Q distribution Haar when `a` is i.i.d. Gaussian).
+[[nodiscard]] QrResult qr_decompose(const RealMatrix& a);
+
+/// Haar-distributed orthogonal-column matrix of shape rows x cols
+/// (rows >= cols) obtained by QR of an i.i.d. standard Gaussian matrix.
+class Rng;  // fwd (qbarren/common/rng.hpp)
+[[nodiscard]] RealMatrix random_orthogonal(std::size_t rows, std::size_t cols,
+                                           Rng& rng);
+
+}  // namespace qbarren

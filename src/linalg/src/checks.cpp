@@ -1,0 +1,47 @@
+#include "qbarren/linalg/checks.hpp"
+
+#include <cmath>
+
+namespace qbarren {
+
+namespace {
+
+template <typename T>
+double max_abs_diff_impl(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  QBARREN_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = std::abs(std::complex<double>(a.data()[i] - b.data()[i]));
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace
+
+bool is_unitary(const ComplexMatrix& u, double tol) {
+  if (!u.is_square()) return false;
+  const ComplexMatrix prod = adjoint(u) * u;
+  return max_abs_diff_impl(prod, ComplexMatrix::identity(u.rows())) <= tol;
+}
+
+bool is_hermitian(const ComplexMatrix& m, double tol) {
+  if (!m.is_square()) return false;
+  return max_abs_diff_impl(m, adjoint(m)) <= tol;
+}
+
+bool has_orthonormal_columns(const RealMatrix& q, double tol) {
+  const RealMatrix prod = q.transpose() * q;
+  return max_abs_diff_impl(prod, RealMatrix::identity(q.cols())) <= tol;
+}
+
+double max_abs_diff(const ComplexMatrix& a, const ComplexMatrix& b) {
+  return max_abs_diff_impl(a, b);
+}
+
+double max_abs_diff(const RealMatrix& a, const RealMatrix& b) {
+  return max_abs_diff_impl(a, b);
+}
+
+}  // namespace qbarren

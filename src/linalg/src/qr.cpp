@@ -1,0 +1,100 @@
+#include "qbarren/linalg/qr.hpp"
+
+#include <cmath>
+
+#include "qbarren/common/rng.hpp"
+
+namespace qbarren {
+
+QrResult qr_decompose(const RealMatrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = std::min(m, n);
+
+  // Work on a copy that we reduce to R in place; accumulate Q explicitly as
+  // the product of Householder reflectors applied to the m x m identity.
+  RealMatrix r_work = a;
+  RealMatrix q_full = RealMatrix::identity(m);
+
+  std::vector<double> v(m);
+  for (std::size_t col = 0; col < k; ++col) {
+    // Build the Householder vector for column `col` below the diagonal.
+    double norm_x = 0.0;
+    for (std::size_t i = col; i < m; ++i) {
+      norm_x += r_work.at_unchecked(i, col) * r_work.at_unchecked(i, col);
+    }
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) {
+      continue;  // column already zero below (and at) the diagonal
+    }
+
+    const double x0 = r_work.at_unchecked(col, col);
+    const double alpha = (x0 >= 0.0) ? -norm_x : norm_x;
+
+    double vnorm2 = 0.0;
+    for (std::size_t i = col; i < m; ++i) {
+      v[i] = r_work.at_unchecked(i, col);
+    }
+    v[col] -= alpha;
+    for (std::size_t i = col; i < m; ++i) {
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) {
+      continue;  // column is already e_col * alpha
+    }
+    const double beta = 2.0 / vnorm2;
+
+    // r_work <- (I - beta v vᵀ) r_work, only columns col..n-1 change.
+    for (std::size_t c = col; c < n; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = col; i < m; ++i) {
+        dot += v[i] * r_work.at_unchecked(i, c);
+      }
+      const double f = beta * dot;
+      for (std::size_t i = col; i < m; ++i) {
+        r_work.at_unchecked(i, c) -= f * v[i];
+      }
+    }
+
+    // q_full <- q_full (I - beta v vᵀ).
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      double dot = 0.0;
+      for (std::size_t i = col; i < m; ++i) {
+        dot += q_full.at_unchecked(rr, i) * v[i];
+      }
+      const double f = beta * dot;
+      for (std::size_t i = col; i < m; ++i) {
+        q_full.at_unchecked(rr, i) -= f * v[i];
+      }
+    }
+  }
+
+  // Thin factors with the sign convention diag(R) >= 0.
+  QrResult out{RealMatrix(m, k), RealMatrix(k, n)};
+  for (std::size_t j = 0; j < k; ++j) {
+    const double sign = (r_work.at_unchecked(j, j) < 0.0) ? -1.0 : 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      out.q.at_unchecked(i, j) = sign * q_full.at_unchecked(i, j);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      out.r.at_unchecked(j, c) =
+          (c >= j ? sign * r_work.at_unchecked(j, c) : 0.0);
+    }
+  }
+  return out;
+}
+
+RealMatrix random_orthogonal(std::size_t rows, std::size_t cols, Rng& rng) {
+  QBARREN_REQUIRE(rows >= cols,
+                  "random_orthogonal: need rows >= cols for orthonormal "
+                  "columns");
+  RealMatrix g(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.at_unchecked(r, c) = rng.normal();
+    }
+  }
+  return qr_decompose(g).q;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,27 @@
+// Hamiltonian variational ansatz (HVA).
+//
+// One trainable Pauli rotation exp(-i theta/2 P_k) per Hamiltonian term
+// per layer — a problem-aware alternative to the hardware-efficient
+// ansatz. The BP literature reports HVA landscapes to be milder than
+// HEA's for matched parameter counts; bench_ablation_hva compares both on
+// the transverse-field Ising VQE.
+#pragma once
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/obs/hamiltonian.hpp"
+
+namespace qbarren {
+
+struct HvaOptions {
+  std::size_t layers = 2;
+  /// Start from |+...+> via a Hadamard wall (the standard HVA reference
+  /// state for transverse-field models).
+  bool hadamard_start = true;
+};
+
+/// Builds the HVA for `hamiltonian`; identity-only terms are skipped.
+/// Records LayerShape{layers, non-identity terms}.
+[[nodiscard]] Circuit hva_ansatz(const PauliSumObservable& hamiltonian,
+                                 const HvaOptions& options = {});
+
+}  // namespace qbarren

@@ -1,0 +1,100 @@
+// Hermitian observables.
+//
+// Every cost function in the paper is an expectation value <psi|H|psi> of a
+// Hermitian operator H. The `Observable` interface exposes two primitives:
+//   * expectation(state)  — the scalar <psi|H|psi>, and
+//   * apply(state)        — the (generally non-normalized) vector H|psi>,
+//     which adjoint-mode differentiation needs to seed its backward pass.
+//
+// Concrete observables:
+//   * GlobalZeroObservable — H = I - |0...0><0...0| (paper Eq 4): the
+//     "global" identity-learning cost whose landscape exhibits the worst
+//     barren plateaus.
+//   * LocalZeroObservable  — H = I - (1/n) sum_j |0><0|_j (Cerezo et al.
+//     local cost), used by the cost-locality ablation.
+//   * PauliStringObservable — tensor products of {I, X, Y, Z}, the standard
+//     BP benchmark observable family (McClean et al. use Z0 Z1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+
+class Observable {
+ public:
+  virtual ~Observable() = default;
+
+  /// <psi|H|psi>. Default implementation: Re <psi | apply(psi)>.
+  [[nodiscard]] virtual double expectation(const StateVector& state) const;
+
+  /// H |psi> (not normalized).
+  [[nodiscard]] virtual StateVector apply(const StateVector& state) const = 0;
+
+  /// Human-readable label for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Register width this observable acts on.
+  [[nodiscard]] virtual std::size_t num_qubits() const = 0;
+};
+
+/// H = I - |0...0><0...0|; expectation = 1 - p(|0...0>) in [0, 1] (Eq 4).
+class GlobalZeroObservable final : public Observable {
+ public:
+  explicit GlobalZeroObservable(std::size_t num_qubits);
+
+  [[nodiscard]] double expectation(const StateVector& state) const override;
+  [[nodiscard]] StateVector apply(const StateVector& state) const override;
+  [[nodiscard]] std::string name() const override { return "global-zero"; }
+  [[nodiscard]] std::size_t num_qubits() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+/// H = I - (1/n) sum_j |0><0|_j tensor I_rest; expectation in [0, 1].
+class LocalZeroObservable final : public Observable {
+ public:
+  explicit LocalZeroObservable(std::size_t num_qubits);
+
+  [[nodiscard]] double expectation(const StateVector& state) const override;
+  [[nodiscard]] StateVector apply(const StateVector& state) const override;
+  [[nodiscard]] std::string name() const override { return "local-zero"; }
+  [[nodiscard]] std::size_t num_qubits() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Tensor product of single-qubit Paulis described by a string over
+/// {'I','X','Y','Z'}; character k addresses qubit k (low bit first).
+class PauliStringObservable final : public Observable {
+ public:
+  /// E.g. "ZZ" on 2 qubits, "IZI" for Z on qubit 1 of 3. Length fixes the
+  /// register width; throws InvalidArgument on other characters.
+  explicit PauliStringObservable(std::string paulis);
+
+  [[nodiscard]] double expectation(const StateVector& state) const override;
+  [[nodiscard]] StateVector apply(const StateVector& state) const override;
+  [[nodiscard]] std::string name() const override {
+    return "pauli:" + paulis_;
+  }
+  [[nodiscard]] std::size_t num_qubits() const override {
+    return paulis_.size();
+  }
+
+  [[nodiscard]] const std::string& pauli_string() const noexcept {
+    return paulis_;
+  }
+
+ private:
+  std::string paulis_;
+};
+
+/// Convenience factory: Z on `qubit`, identity elsewhere.
+[[nodiscard]] std::unique_ptr<PauliStringObservable> make_z_observable(
+    std::size_t qubit, std::size_t num_qubits);
+
+}  // namespace qbarren

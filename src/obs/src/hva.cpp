@@ -1,0 +1,35 @@
+#include "qbarren/obs/hva.hpp"
+
+#include "qbarren/circuit/pauli_rotation.hpp"
+
+namespace qbarren {
+
+Circuit hva_ansatz(const PauliSumObservable& hamiltonian,
+                   const HvaOptions& options) {
+  QBARREN_REQUIRE(options.layers >= 1, "hva_ansatz: need >= 1 layer");
+
+  std::vector<std::string> strings;
+  for (const PauliTerm& term : hamiltonian.terms()) {
+    if (term.paulis.find_first_not_of('I') != std::string::npos) {
+      strings.push_back(term.paulis);
+    }
+  }
+  QBARREN_REQUIRE(!strings.empty(),
+                  "hva_ansatz: Hamiltonian has no non-identity terms");
+
+  Circuit circuit(hamiltonian.num_qubits());
+  if (options.hadamard_start) {
+    for (std::size_t q = 0; q < circuit.num_qubits(); ++q) {
+      circuit.add_hadamard(q);
+    }
+  }
+  for (std::size_t layer = 0; layer < options.layers; ++layer) {
+    for (const std::string& paulis : strings) {
+      add_pauli_rotation(circuit, paulis);
+    }
+  }
+  circuit.set_layer_shape(LayerShape{options.layers, strings.size()});
+  return circuit;
+}
+
+}  // namespace qbarren

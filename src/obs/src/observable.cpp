@@ -1,0 +1,112 @@
+#include "qbarren/obs/observable.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "qbarren/qsim/gates.hpp"
+
+namespace qbarren {
+
+double Observable::expectation(const StateVector& state) const {
+  return state.inner_product(apply(state)).real();
+}
+
+GlobalZeroObservable::GlobalZeroObservable(std::size_t num_qubits)
+    : n_(num_qubits) {
+  QBARREN_REQUIRE(num_qubits >= 1, "GlobalZeroObservable: need >= 1 qubit");
+}
+
+double GlobalZeroObservable::expectation(const StateVector& state) const {
+  QBARREN_REQUIRE(state.num_qubits() == n_,
+                  "GlobalZeroObservable: width mismatch");
+  return 1.0 - state.probability(0);
+}
+
+StateVector GlobalZeroObservable::apply(const StateVector& state) const {
+  QBARREN_REQUIRE(state.num_qubits() == n_,
+                  "GlobalZeroObservable: width mismatch");
+  StateVector out = state;
+  // (I - |0><0|) psi zeroes the |0...0> amplitude.
+  out.amplitudes()[0] = Complex{0.0, 0.0};
+  return out;
+}
+
+LocalZeroObservable::LocalZeroObservable(std::size_t num_qubits)
+    : n_(num_qubits) {
+  QBARREN_REQUIRE(num_qubits >= 1, "LocalZeroObservable: need >= 1 qubit");
+}
+
+double LocalZeroObservable::expectation(const StateVector& state) const {
+  QBARREN_REQUIRE(state.num_qubits() == n_,
+                  "LocalZeroObservable: width mismatch");
+  // 1 - (1/n) sum_j p(qubit j = 0).
+  double acc = 0.0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    acc += 1.0 - state.probability_one(q);
+  }
+  return 1.0 - acc / static_cast<double>(n_);
+}
+
+StateVector LocalZeroObservable::apply(const StateVector& state) const {
+  QBARREN_REQUIRE(state.num_qubits() == n_,
+                  "LocalZeroObservable: width mismatch");
+  // Diagonal operator: coefficient of basis index i is
+  // 1 - (zero-bit count of i) / n.
+  StateVector out = state;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  auto& amps = out.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const auto ones = static_cast<std::size_t>(std::popcount(i));
+    const double zeros = static_cast<double>(n_ - ones);
+    amps[i] *= 1.0 - zeros * inv_n;
+  }
+  return out;
+}
+
+PauliStringObservable::PauliStringObservable(std::string paulis)
+    : paulis_(std::move(paulis)) {
+  QBARREN_REQUIRE(!paulis_.empty(),
+                  "PauliStringObservable: empty Pauli string");
+  for (char ch : paulis_) {
+    QBARREN_REQUIRE(ch == 'I' || ch == 'X' || ch == 'Y' || ch == 'Z',
+                    "PauliStringObservable: characters must be I/X/Y/Z");
+  }
+}
+
+StateVector PauliStringObservable::apply(const StateVector& state) const {
+  QBARREN_REQUIRE(state.num_qubits() == paulis_.size(),
+                  "PauliStringObservable: width mismatch");
+  StateVector out = state;
+  for (std::size_t q = 0; q < paulis_.size(); ++q) {
+    switch (paulis_[q]) {
+      case 'I':
+        break;
+      case 'X':
+        out.apply_single_qubit(gates::pauli_x(), q);
+        break;
+      case 'Y':
+        out.apply_single_qubit(gates::pauli_y(), q);
+        break;
+      case 'Z':
+        out.apply_single_qubit(gates::pauli_z(), q);
+        break;
+      default:
+        throw InvalidArgument("PauliStringObservable: corrupt string");
+    }
+  }
+  return out;
+}
+
+double PauliStringObservable::expectation(const StateVector& state) const {
+  return state.inner_product(apply(state)).real();
+}
+
+std::unique_ptr<PauliStringObservable> make_z_observable(
+    std::size_t qubit, std::size_t num_qubits) {
+  QBARREN_REQUIRE(qubit < num_qubits, "make_z_observable: qubit out of range");
+  std::string s(num_qubits, 'I');
+  s[qubit] = 'Z';
+  return std::make_unique<PauliStringObservable>(std::move(s));
+}
+
+}  // namespace qbarren

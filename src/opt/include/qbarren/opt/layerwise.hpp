@@ -1,0 +1,59 @@
+// Layer-wise training (paper §II-c context; Skolik et al. 2021).
+//
+// Instead of optimizing all parameters at once, train one layer at a time:
+// stage s updates only the parameters of layer s (others frozen by masking
+// their gradient entries), then optionally finish with a full sweep over
+// every parameter. Early stages optimize effectively shallow circuits that
+// are less plateau-prone, which lets even randomly initialized deep
+// circuits start learning — the trade-off (more total iterations) is
+// quantified in bench_ablation_layerwise.
+#pragma once
+
+#include "qbarren/opt/trainer.hpp"
+
+namespace qbarren {
+
+struct LayerwiseOptions {
+  std::size_t iterations_per_layer = 10;
+  /// Full-parameter fine-tuning iterations after the per-layer stages.
+  std::size_t final_sweep_iterations = 0;
+  double learning_rate = 0.1;
+  std::string optimizer = "gradient-descent";  ///< fresh instance per stage
+  bool record_gradient_norms = true;
+};
+
+/// Layer-wise training of `cost`. The circuit must carry LayerShape
+/// metadata (every ansatz builder records it); parameter i belongs to
+/// layer i / params_per_layer. The returned loss_history spans all stages
+/// (initial loss + one entry per iteration, stages concatenated).
+[[nodiscard]] TrainResult train_layerwise(const CostFunction& cost,
+                                          const GradientEngine& engine,
+                                          std::vector<double> initial_params,
+                                          const LayerwiseOptions& options =
+                                              {});
+
+struct GrowingLayerwiseOptions {
+  std::size_t qubits = 10;
+  std::size_t total_layers = 5;      ///< final Eq-3 ansatz depth
+  std::size_t iterations_per_stage = 10;
+  double learning_rate = 0.1;
+  std::string optimizer = "gradient-descent";
+  /// Range for the very first layer's random parameters.
+  double first_layer_lo = 0.0;
+  double first_layer_hi = 2.0 * M_PI;
+  std::uint64_t seed = 0;
+  bool record_gradient_norms = true;
+};
+
+/// Skolik-style growing layer-wise training: stage s optimizes an s-layer
+/// Eq-3 ansatz (all s layers trainable), then appends layer s+1 with
+/// zero-initialized parameters — the identity — so growth never changes
+/// the state and each stage's landscape is that of a shallow, less
+/// plateau-prone circuit. `observable` fixes the cost (width must equal
+/// options.qubits). Returns the concatenated TrainResult; final_params
+/// belong to the full total_layers ansatz.
+[[nodiscard]] TrainResult train_layerwise_growing(
+    std::shared_ptr<const Observable> observable,
+    const GradientEngine& engine, const GrowingLayerwiseOptions& options);
+
+}  // namespace qbarren

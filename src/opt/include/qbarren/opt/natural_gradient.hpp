@@ -1,0 +1,31 @@
+// Quantum natural gradient training (paper §II-b context).
+//
+// Each iteration solves (F + lambda I) dx = grad with F the Fubini-Study
+// metric and updates theta <- theta - lr * dx. QNG follows the steepest-
+// descent direction in state space rather than parameter space, which
+// helps escape flat regions — at the cost of one metric computation
+// (O(P * ops) simulation work + an O(P^3) solve) per step.
+#pragma once
+
+#include "qbarren/opt/trainer.hpp"
+
+namespace qbarren {
+
+struct NaturalGradientOptions {
+  std::size_t max_iterations = 50;
+  double learning_rate = 0.1;
+  /// Tikhonov regularizer added to the metric diagonal; keeps the solve
+  /// well-posed on plateaus where F is nearly singular.
+  double lambda = 1e-3;
+  bool record_gradient_norms = true;
+};
+
+/// Trains `cost` by quantum natural gradient descent from
+/// `initial_params`; gradients come from `engine` and the metric from
+/// fubini_study_metric. Returns the same TrainResult as train().
+[[nodiscard]] TrainResult train_natural_gradient(
+    const CostFunction& cost, const GradientEngine& engine,
+    std::vector<double> initial_params,
+    const NaturalGradientOptions& options = {});
+
+}  // namespace qbarren

@@ -1,0 +1,171 @@
+// First-order optimizers.
+//
+// The paper trains with vanilla Gradient Descent and Adam, both at step
+// size 0.1 (§V). Momentum/Nesterov/RMSProp/AMSGrad are provided as
+// extensions for ablation studies. Optimizers are stateful (moment
+// buffers); call `reset` (or construct fresh) before reusing one across
+// training runs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qbarren {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clears internal state and sizes buffers for `num_params` parameters.
+  virtual void reset(std::size_t num_params) = 0;
+
+  /// In-place update params -= f(grad). Sizes must match the reset() size
+  /// (or each other, for stateless optimizers).
+  virtual void step(std::span<double> params,
+                    std::span<const double> grad) = 0;
+
+  /// Fresh optimizer with the same hyperparameters and cleared state.
+  [[nodiscard]] virtual std::unique_ptr<Optimizer> clone() const = 0;
+};
+
+class GradientDescent final : public Optimizer {
+ public:
+  explicit GradientDescent(double learning_rate = 0.1);
+  [[nodiscard]] std::string name() const override {
+    return "gradient-descent";
+  }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+};
+
+class MomentumOptimizer final : public Optimizer {
+ public:
+  explicit MomentumOptimizer(double learning_rate = 0.1,
+                             double momentum = 0.9);
+  [[nodiscard]] std::string name() const override { return "momentum"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double mu_;
+  std::vector<double> velocity_;
+};
+
+class NesterovOptimizer final : public Optimizer {
+ public:
+  explicit NesterovOptimizer(double learning_rate = 0.1,
+                             double momentum = 0.9);
+  [[nodiscard]] std::string name() const override { return "nesterov"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double mu_;
+  std::vector<double> velocity_;
+};
+
+class RmsPropOptimizer final : public Optimizer {
+ public:
+  explicit RmsPropOptimizer(double learning_rate = 0.1, double alpha = 0.99,
+                            double epsilon = 1e-8);
+  [[nodiscard]] std::string name() const override { return "rmsprop"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double alpha_;
+  double eps_;
+  std::vector<double> sq_avg_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate = 0.1, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+  [[nodiscard]] std::string name() const override { return "adam"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+class AmsGradOptimizer final : public Optimizer {
+ public:
+  explicit AmsGradOptimizer(double learning_rate = 0.1, double beta1 = 0.9,
+                            double beta2 = 0.999, double epsilon = 1e-8);
+  [[nodiscard]] std::string name() const override { return "amsgrad"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::vector<double> v_hat_max_;
+};
+
+class AdaGradOptimizer final : public Optimizer {
+ public:
+  explicit AdaGradOptimizer(double learning_rate = 0.1,
+                            double epsilon = 1e-10);
+  [[nodiscard]] std::string name() const override { return "adagrad"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double lr_;
+  double eps_;
+  std::vector<double> sum_sq_;
+};
+
+class AdadeltaOptimizer final : public Optimizer {
+ public:
+  explicit AdadeltaOptimizer(double rho = 0.95, double epsilon = 1e-6);
+  [[nodiscard]] std::string name() const override { return "adadelta"; }
+  void reset(std::size_t num_params) override;
+  void step(std::span<double> params, std::span<const double> grad) override;
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override;
+
+ private:
+  double rho_;
+  double eps_;
+  std::vector<double> sq_grad_avg_;
+  std::vector<double> sq_update_avg_;
+};
+
+/// Builds an optimizer by name ("gradient-descent", "momentum", "nesterov",
+/// "rmsprop", "adam", "amsgrad", "adagrad", "adadelta") with the given
+/// learning rate and default secondary hyperparameters (adadelta ignores
+/// the learning rate by design). Throws NotFound for unknown names.
+[[nodiscard]] std::unique_ptr<Optimizer> make_optimizer(
+    const std::string& name, double learning_rate = 0.1);
+
+}  // namespace qbarren

@@ -1,0 +1,35 @@
+// Rotosolve: sequential closed-form parameter updates
+// (Ostaszewski, Grant & Benedetti, Quantum 5, 391 (2021)).
+//
+// For a circuit of Pauli rotations, the cost as a function of any single
+// parameter is a sinusoid C(theta) = a + b cos(theta - phi). Three
+// evaluations — C(t), C(t + pi/2), C(t - pi/2) — determine it, and the
+// minimizing angle has the closed form
+//   theta* = t - pi/2 - atan2(2 C(t) - C(t+pi/2) - C(t-pi/2),
+//                             C(t+pi/2) - C(t-pi/2)).
+// One Rotosolve sweep updates every parameter in order, each jumping to
+// its conditional optimum: no learning rate, no gradient — and therefore a
+// different relationship to barren plateaus (on a plateau the sinusoid's
+// amplitude b is exponentially small, so the *location* of its minimum is
+// still well-defined but barely lowers the cost).
+#pragma once
+
+#include "qbarren/opt/trainer.hpp"
+
+namespace qbarren {
+
+struct RotosolveOptions {
+  std::size_t max_sweeps = 10;  ///< full passes over the parameter vector
+  /// Stop when a full sweep improves the loss by less than this.
+  double min_improvement = 0.0;
+};
+
+/// Runs Rotosolve on `cost` from `initial_params`. The returned
+/// loss_history records the loss after every *sweep* (index 0 = initial);
+/// `iterations` counts sweeps.
+[[nodiscard]] TrainResult train_rotosolve(const CostFunction& cost,
+                                          std::vector<double> initial_params,
+                                          const RotosolveOptions& options =
+                                              {});
+
+}  // namespace qbarren

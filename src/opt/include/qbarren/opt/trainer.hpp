@@ -1,0 +1,48 @@
+// Training-loop driver.
+//
+// Runs the paper's training protocol: starting from an initializer-supplied
+// parameter vector, repeat for a fixed number of iterations
+//   grad <- engine(cost), params <- optimizer.step(params, grad)
+// recording the loss (and optionally the gradient norm) at every iterate.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/obs/cost.hpp"
+#include "qbarren/opt/optimizers.hpp"
+
+namespace qbarren {
+
+struct TrainOptions {
+  std::size_t max_iterations = 50;  ///< the paper's training budget
+  /// Stop early when the loss drops below this (default: never).
+  double target_loss = -std::numeric_limits<double>::infinity();
+  bool record_gradient_norms = true;
+};
+
+struct TrainResult {
+  /// loss_history[k] = loss at iterate k; index 0 is the initial loss and
+  /// the last entry the post-training loss (size = iterations + 1).
+  std::vector<double> loss_history;
+  /// Euclidean norms of the gradient at each of the `iterations` steps
+  /// (empty when not recorded).
+  std::vector<double> gradient_norm_history;
+  std::vector<double> final_params;
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  std::size_t iterations = 0;  ///< optimizer steps actually taken
+  bool reached_target = false;
+};
+
+/// Trains `cost` with the given engine/optimizer from `initial_params`.
+/// The optimizer is reset() before the first step. Throws InvalidArgument
+/// when initial_params does not match the circuit's parameter count.
+[[nodiscard]] TrainResult train(const CostFunction& cost,
+                                const GradientEngine& engine,
+                                Optimizer& optimizer,
+                                std::vector<double> initial_params,
+                                const TrainOptions& options = {});
+
+}  // namespace qbarren

@@ -1,0 +1,147 @@
+#include "qbarren/opt/layerwise.hpp"
+
+#include <cmath>
+
+#include "qbarren/circuit/ansatz.hpp"
+
+namespace qbarren {
+
+TrainResult train_layerwise(const CostFunction& cost,
+                            const GradientEngine& engine,
+                            std::vector<double> initial_params,
+                            const LayerwiseOptions& options) {
+  QBARREN_REQUIRE(initial_params.size() == cost.num_parameters(),
+                  "train_layerwise: initial parameter count mismatch");
+  const Circuit& circuit = cost.circuit();
+  const Observable& observable = cost.observable();
+  QBARREN_REQUIRE(circuit.layer_shape().has_value(),
+                  "train_layerwise: circuit has no layer-shape metadata");
+  const LayerShape shape = *circuit.layer_shape();
+  QBARREN_REQUIRE(shape.layers * shape.params_per_layer ==
+                      circuit.num_parameters(),
+                  "train_layerwise: layer shape does not tile the "
+                  "parameter vector");
+
+  TrainResult result;
+  result.final_params = std::move(initial_params);
+
+  double loss = cost.value(result.final_params);
+  result.initial_loss = loss;
+  result.loss_history.push_back(loss);
+
+  auto run_stage = [&](std::size_t mask_begin, std::size_t mask_end,
+                       std::size_t iterations) {
+    // mask_begin == mask_end means "no mask": train everything.
+    const auto optimizer =
+        make_optimizer(options.optimizer, options.learning_rate);
+    optimizer->reset(result.final_params.size());
+    for (std::size_t it = 0; it < iterations; ++it) {
+      ValueAndGradient vg =
+          engine.value_and_gradient(circuit, observable, result.final_params);
+      if (mask_begin != mask_end) {
+        for (std::size_t i = 0; i < vg.gradient.size(); ++i) {
+          if (i < mask_begin || i >= mask_end) {
+            vg.gradient[i] = 0.0;
+          }
+        }
+      }
+      if (options.record_gradient_norms) {
+        double norm2 = 0.0;
+        for (double g : vg.gradient) {
+          norm2 += g * g;
+        }
+        result.gradient_norm_history.push_back(std::sqrt(norm2));
+      }
+      optimizer->step(result.final_params, vg.gradient);
+      loss = cost.value(result.final_params);
+      result.loss_history.push_back(loss);
+      ++result.iterations;
+    }
+  };
+
+  for (std::size_t layer = 0; layer < shape.layers; ++layer) {
+    const std::size_t begin = layer * shape.params_per_layer;
+    run_stage(begin, begin + shape.params_per_layer,
+              options.iterations_per_layer);
+  }
+  if (options.final_sweep_iterations > 0) {
+    run_stage(0, 0, options.final_sweep_iterations);
+  }
+
+  result.final_loss = loss;
+  return result;
+}
+
+TrainResult train_layerwise_growing(
+    std::shared_ptr<const Observable> observable,
+    const GradientEngine& engine, const GrowingLayerwiseOptions& options) {
+  QBARREN_REQUIRE(observable != nullptr,
+                  "train_layerwise_growing: null observable");
+  QBARREN_REQUIRE(observable->num_qubits() == options.qubits,
+                  "train_layerwise_growing: observable width mismatch");
+  QBARREN_REQUIRE(options.total_layers >= 1,
+                  "train_layerwise_growing: need >= 1 layer");
+  QBARREN_REQUIRE(options.learning_rate > 0.0,
+                  "train_layerwise_growing: learning rate must be positive");
+
+  Rng rng(options.seed);
+  const std::size_t params_per_layer = 2 * options.qubits;  // Eq 3: RX + RY
+
+  // First layer starts random (a 1-layer circuit has no plateau to fear);
+  // every appended layer starts at the identity.
+  std::vector<double> params;
+  params.reserve(options.total_layers * params_per_layer);
+  for (std::size_t i = 0; i < params_per_layer; ++i) {
+    params.push_back(rng.uniform(options.first_layer_lo,
+                                 options.first_layer_hi));
+  }
+
+  TrainResult result;
+  bool first_stage = true;
+  double loss = 0.0;
+  for (std::size_t depth = 1; depth <= options.total_layers; ++depth) {
+    TrainingAnsatzOptions ansatz_options;
+    ansatz_options.layers = depth;
+    auto circuit = std::make_shared<const Circuit>(
+        training_ansatz(options.qubits, ansatz_options));
+    const CostFunction cost(circuit, observable);
+
+    if (first_stage) {
+      loss = cost.value(params);
+      result.initial_loss = loss;
+      result.loss_history.push_back(loss);
+      first_stage = false;
+    }
+
+    const auto optimizer =
+        make_optimizer(options.optimizer, options.learning_rate);
+    optimizer->reset(params.size());
+    for (std::size_t it = 0; it < options.iterations_per_stage; ++it) {
+      const ValueAndGradient vg =
+          engine.value_and_gradient(*circuit, *observable, params);
+      if (options.record_gradient_norms) {
+        double norm2 = 0.0;
+        for (double g : vg.gradient) {
+          norm2 += g * g;
+        }
+        result.gradient_norm_history.push_back(std::sqrt(norm2));
+      }
+      optimizer->step(params, vg.gradient);
+      loss = cost.value(params);
+      result.loss_history.push_back(loss);
+      ++result.iterations;
+    }
+
+    if (depth < options.total_layers) {
+      // Grow: the new layer's rotations at angle 0 are the identity, so
+      // the loss is continuous across the growth step.
+      params.insert(params.end(), params_per_layer, 0.0);
+    }
+  }
+
+  result.final_params = std::move(params);
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace qbarren

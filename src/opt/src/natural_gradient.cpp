@@ -1,0 +1,58 @@
+#include "qbarren/opt/natural_gradient.hpp"
+
+#include <cmath>
+
+#include "qbarren/grad/metric.hpp"
+#include "qbarren/linalg/solve.hpp"
+
+namespace qbarren {
+
+TrainResult train_natural_gradient(const CostFunction& cost,
+                                   const GradientEngine& engine,
+                                   std::vector<double> initial_params,
+                                   const NaturalGradientOptions& options) {
+  QBARREN_REQUIRE(initial_params.size() == cost.num_parameters(),
+                  "train_natural_gradient: initial parameter count mismatch");
+  QBARREN_REQUIRE(options.learning_rate > 0.0,
+                  "train_natural_gradient: learning rate must be positive");
+  QBARREN_REQUIRE(options.lambda >= 0.0,
+                  "train_natural_gradient: lambda must be non-negative");
+
+  const Circuit& circuit = cost.circuit();
+  const Observable& observable = cost.observable();
+
+  TrainResult result;
+  result.final_params = std::move(initial_params);
+
+  double loss = cost.value(result.final_params);
+  result.initial_loss = loss;
+  result.loss_history.push_back(loss);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const ValueAndGradient vg =
+        engine.value_and_gradient(circuit, observable, result.final_params);
+    if (options.record_gradient_norms) {
+      double norm2 = 0.0;
+      for (double g : vg.gradient) {
+        norm2 += g * g;
+      }
+      result.gradient_norm_history.push_back(std::sqrt(norm2));
+    }
+
+    const RealMatrix metric =
+        fubini_study_metric(circuit, result.final_params);
+    const std::vector<double> direction =
+        solve_regularized(metric, vg.gradient, options.lambda);
+    for (std::size_t i = 0; i < result.final_params.size(); ++i) {
+      result.final_params[i] -= options.learning_rate * direction[i];
+    }
+
+    loss = cost.value(result.final_params);
+    result.loss_history.push_back(loss);
+    ++result.iterations;
+  }
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,311 @@
+#include "qbarren/opt/optimizers.hpp"
+
+#include <cmath>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+namespace {
+
+void check_sizes(std::span<double> params, std::span<const double> grad,
+                 const char* who) {
+  if (params.size() != grad.size()) {
+    throw InvalidArgument(std::string(who) +
+                          ": parameter/gradient size mismatch");
+  }
+}
+
+void check_state(std::size_t state_size, std::size_t params_size,
+                 const char* who) {
+  if (state_size != params_size) {
+    throw InvalidArgument(std::string(who) +
+                          ": call reset() with the parameter count first");
+  }
+}
+
+void check_lr(double lr, const char* who) {
+  if (!(lr > 0.0)) {
+    throw InvalidArgument(std::string(who) +
+                          ": learning rate must be positive");
+  }
+}
+
+}  // namespace
+
+// --- GradientDescent --------------------------------------------------------
+
+GradientDescent::GradientDescent(double learning_rate) : lr_(learning_rate) {
+  check_lr(lr_, "GradientDescent");
+}
+
+void GradientDescent::reset(std::size_t /*num_params*/) {}
+
+void GradientDescent::step(std::span<double> params,
+                           std::span<const double> grad) {
+  check_sizes(params, grad, "GradientDescent::step");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * grad[i];
+  }
+}
+
+std::unique_ptr<Optimizer> GradientDescent::clone() const {
+  return std::make_unique<GradientDescent>(lr_);
+}
+
+// --- Momentum ---------------------------------------------------------------
+
+MomentumOptimizer::MomentumOptimizer(double learning_rate, double momentum)
+    : lr_(learning_rate), mu_(momentum) {
+  check_lr(lr_, "MomentumOptimizer");
+  QBARREN_REQUIRE(mu_ >= 0.0 && mu_ < 1.0,
+                  "MomentumOptimizer: momentum must be in [0, 1)");
+}
+
+void MomentumOptimizer::reset(std::size_t num_params) {
+  velocity_.assign(num_params, 0.0);
+}
+
+void MomentumOptimizer::step(std::span<double> params,
+                             std::span<const double> grad) {
+  check_sizes(params, grad, "MomentumOptimizer::step");
+  check_state(velocity_.size(), params.size(), "MomentumOptimizer::step");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = mu_ * velocity_[i] + grad[i];
+    params[i] -= lr_ * velocity_[i];
+  }
+}
+
+std::unique_ptr<Optimizer> MomentumOptimizer::clone() const {
+  return std::make_unique<MomentumOptimizer>(lr_, mu_);
+}
+
+// --- Nesterov ---------------------------------------------------------------
+
+NesterovOptimizer::NesterovOptimizer(double learning_rate, double momentum)
+    : lr_(learning_rate), mu_(momentum) {
+  check_lr(lr_, "NesterovOptimizer");
+  QBARREN_REQUIRE(mu_ >= 0.0 && mu_ < 1.0,
+                  "NesterovOptimizer: momentum must be in [0, 1)");
+}
+
+void NesterovOptimizer::reset(std::size_t num_params) {
+  velocity_.assign(num_params, 0.0);
+}
+
+void NesterovOptimizer::step(std::span<double> params,
+                             std::span<const double> grad) {
+  check_sizes(params, grad, "NesterovOptimizer::step");
+  check_state(velocity_.size(), params.size(), "NesterovOptimizer::step");
+  // PyTorch-style Nesterov: v <- mu v + g; update with g + mu v.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = mu_ * velocity_[i] + grad[i];
+    params[i] -= lr_ * (grad[i] + mu_ * velocity_[i]);
+  }
+}
+
+std::unique_ptr<Optimizer> NesterovOptimizer::clone() const {
+  return std::make_unique<NesterovOptimizer>(lr_, mu_);
+}
+
+// --- RMSProp ----------------------------------------------------------------
+
+RmsPropOptimizer::RmsPropOptimizer(double learning_rate, double alpha,
+                                   double epsilon)
+    : lr_(learning_rate), alpha_(alpha), eps_(epsilon) {
+  check_lr(lr_, "RmsPropOptimizer");
+  QBARREN_REQUIRE(alpha_ > 0.0 && alpha_ < 1.0,
+                  "RmsPropOptimizer: alpha must be in (0, 1)");
+  QBARREN_REQUIRE(eps_ > 0.0, "RmsPropOptimizer: epsilon must be positive");
+}
+
+void RmsPropOptimizer::reset(std::size_t num_params) {
+  sq_avg_.assign(num_params, 0.0);
+}
+
+void RmsPropOptimizer::step(std::span<double> params,
+                            std::span<const double> grad) {
+  check_sizes(params, grad, "RmsPropOptimizer::step");
+  check_state(sq_avg_.size(), params.size(), "RmsPropOptimizer::step");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    sq_avg_[i] = alpha_ * sq_avg_[i] + (1.0 - alpha_) * grad[i] * grad[i];
+    params[i] -= lr_ * grad[i] / (std::sqrt(sq_avg_[i]) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> RmsPropOptimizer::clone() const {
+  return std::make_unique<RmsPropOptimizer>(lr_, alpha_, eps_);
+}
+
+// --- Adam -------------------------------------------------------------------
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+  check_lr(lr_, "AdamOptimizer");
+  QBARREN_REQUIRE(beta1_ >= 0.0 && beta1_ < 1.0,
+                  "AdamOptimizer: beta1 must be in [0, 1)");
+  QBARREN_REQUIRE(beta2_ >= 0.0 && beta2_ < 1.0,
+                  "AdamOptimizer: beta2 must be in [0, 1)");
+  QBARREN_REQUIRE(eps_ > 0.0, "AdamOptimizer: epsilon must be positive");
+}
+
+void AdamOptimizer::reset(std::size_t num_params) {
+  t_ = 0;
+  m_.assign(num_params, 0.0);
+  v_.assign(num_params, 0.0);
+}
+
+void AdamOptimizer::step(std::span<double> params,
+                         std::span<const double> grad) {
+  check_sizes(params, grad, "AdamOptimizer::step");
+  check_state(m_.size(), params.size(), "AdamOptimizer::step");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> AdamOptimizer::clone() const {
+  return std::make_unique<AdamOptimizer>(lr_, beta1_, beta2_, eps_);
+}
+
+// --- AMSGrad ----------------------------------------------------------------
+
+AmsGradOptimizer::AmsGradOptimizer(double learning_rate, double beta1,
+                                   double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {
+  check_lr(lr_, "AmsGradOptimizer");
+  QBARREN_REQUIRE(beta1_ >= 0.0 && beta1_ < 1.0,
+                  "AmsGradOptimizer: beta1 must be in [0, 1)");
+  QBARREN_REQUIRE(beta2_ >= 0.0 && beta2_ < 1.0,
+                  "AmsGradOptimizer: beta2 must be in [0, 1)");
+  QBARREN_REQUIRE(eps_ > 0.0, "AmsGradOptimizer: epsilon must be positive");
+}
+
+void AmsGradOptimizer::reset(std::size_t num_params) {
+  t_ = 0;
+  m_.assign(num_params, 0.0);
+  v_.assign(num_params, 0.0);
+  v_hat_max_.assign(num_params, 0.0);
+}
+
+void AmsGradOptimizer::step(std::span<double> params,
+                            std::span<const double> grad) {
+  check_sizes(params, grad, "AmsGradOptimizer::step");
+  check_state(m_.size(), params.size(), "AmsGradOptimizer::step");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    v_hat_max_[i] = std::max(v_hat_max_[i], v_hat);
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat_max_[i]) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> AmsGradOptimizer::clone() const {
+  return std::make_unique<AmsGradOptimizer>(lr_, beta1_, beta2_, eps_);
+}
+
+// --- AdaGrad ----------------------------------------------------------------
+
+AdaGradOptimizer::AdaGradOptimizer(double learning_rate, double epsilon)
+    : lr_(learning_rate), eps_(epsilon) {
+  check_lr(lr_, "AdaGradOptimizer");
+  QBARREN_REQUIRE(eps_ > 0.0, "AdaGradOptimizer: epsilon must be positive");
+}
+
+void AdaGradOptimizer::reset(std::size_t num_params) {
+  sum_sq_.assign(num_params, 0.0);
+}
+
+void AdaGradOptimizer::step(std::span<double> params,
+                            std::span<const double> grad) {
+  check_sizes(params, grad, "AdaGradOptimizer::step");
+  check_state(sum_sq_.size(), params.size(), "AdaGradOptimizer::step");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    sum_sq_[i] += grad[i] * grad[i];
+    params[i] -= lr_ * grad[i] / (std::sqrt(sum_sq_[i]) + eps_);
+  }
+}
+
+std::unique_ptr<Optimizer> AdaGradOptimizer::clone() const {
+  return std::make_unique<AdaGradOptimizer>(lr_, eps_);
+}
+
+// --- Adadelta ---------------------------------------------------------------
+
+AdadeltaOptimizer::AdadeltaOptimizer(double rho, double epsilon)
+    : rho_(rho), eps_(epsilon) {
+  QBARREN_REQUIRE(rho_ > 0.0 && rho_ < 1.0,
+                  "AdadeltaOptimizer: rho must be in (0, 1)");
+  QBARREN_REQUIRE(eps_ > 0.0, "AdadeltaOptimizer: epsilon must be positive");
+}
+
+void AdadeltaOptimizer::reset(std::size_t num_params) {
+  sq_grad_avg_.assign(num_params, 0.0);
+  sq_update_avg_.assign(num_params, 0.0);
+}
+
+void AdadeltaOptimizer::step(std::span<double> params,
+                             std::span<const double> grad) {
+  check_sizes(params, grad, "AdadeltaOptimizer::step");
+  check_state(sq_grad_avg_.size(), params.size(), "AdadeltaOptimizer::step");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    sq_grad_avg_[i] =
+        rho_ * sq_grad_avg_[i] + (1.0 - rho_) * grad[i] * grad[i];
+    const double update = std::sqrt((sq_update_avg_[i] + eps_) /
+                                    (sq_grad_avg_[i] + eps_)) *
+                          grad[i];
+    sq_update_avg_[i] =
+        rho_ * sq_update_avg_[i] + (1.0 - rho_) * update * update;
+    params[i] -= update;
+  }
+}
+
+std::unique_ptr<Optimizer> AdadeltaOptimizer::clone() const {
+  return std::make_unique<AdadeltaOptimizer>(rho_, eps_);
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          double learning_rate) {
+  if (name == "gradient-descent" || name == "gd") {
+    return std::make_unique<GradientDescent>(learning_rate);
+  }
+  if (name == "momentum") {
+    return std::make_unique<MomentumOptimizer>(learning_rate);
+  }
+  if (name == "nesterov") {
+    return std::make_unique<NesterovOptimizer>(learning_rate);
+  }
+  if (name == "rmsprop") {
+    return std::make_unique<RmsPropOptimizer>(learning_rate);
+  }
+  if (name == "adam") {
+    return std::make_unique<AdamOptimizer>(learning_rate);
+  }
+  if (name == "amsgrad") {
+    return std::make_unique<AmsGradOptimizer>(learning_rate);
+  }
+  if (name == "adagrad") {
+    return std::make_unique<AdaGradOptimizer>(learning_rate);
+  }
+  if (name == "adadelta") {
+    return std::make_unique<AdadeltaOptimizer>();
+  }
+  throw NotFound("make_optimizer: unknown optimizer '" + name + "'");
+}
+
+}  // namespace qbarren

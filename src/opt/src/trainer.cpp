@@ -1,0 +1,50 @@
+#include "qbarren/opt/trainer.hpp"
+
+#include <cmath>
+
+namespace qbarren {
+
+TrainResult train(const CostFunction& cost, const GradientEngine& engine,
+                  Optimizer& optimizer, std::vector<double> initial_params,
+                  const TrainOptions& options) {
+  QBARREN_REQUIRE(initial_params.size() == cost.num_parameters(),
+                  "train: initial parameter count mismatch");
+
+  TrainResult result;
+  result.final_params = std::move(initial_params);
+  optimizer.reset(result.final_params.size());
+
+  const Circuit& circuit = cost.circuit();
+  const Observable& observable = cost.observable();
+
+  double loss = cost.value(result.final_params);
+  result.initial_loss = loss;
+  result.loss_history.push_back(loss);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (loss <= options.target_loss) {
+      result.reached_target = true;
+      break;
+    }
+    const ValueAndGradient vg =
+        engine.value_and_gradient(circuit, observable, result.final_params);
+    if (options.record_gradient_norms) {
+      double norm2 = 0.0;
+      for (double g : vg.gradient) {
+        norm2 += g * g;
+      }
+      result.gradient_norm_history.push_back(std::sqrt(norm2));
+    }
+    optimizer.step(result.final_params, vg.gradient);
+    loss = cost.value(result.final_params);
+    result.loss_history.push_back(loss);
+    ++result.iterations;
+  }
+  if (loss <= options.target_loss) {
+    result.reached_target = true;
+  }
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace qbarren

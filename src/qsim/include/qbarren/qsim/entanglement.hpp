@@ -1,0 +1,28 @@
+// Entanglement diagnostics.
+//
+// The near-identity initializations that avoid barren plateaus also start
+// circuits at low entanglement; these helpers quantify that. The
+// Meyer-Wallach measure Q = 2 (1 - mean_q tr rho_q^2) is 0 for product
+// states and 1 for certain maximally entangled states, and is the standard
+// scalar entanglement diagnostic for PQC ensembles (Sim et al. 2019).
+#pragma once
+
+#include "qbarren/linalg/matrix.hpp"
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+
+/// 2x2 reduced density matrix of one qubit: rho_q = tr_{rest} |psi><psi|.
+/// Requires a normalized state for a physical result (not enforced; the
+/// trace equals the state's squared norm).
+[[nodiscard]] ComplexMatrix reduced_density_matrix_1q(const StateVector& state,
+                                                      std::size_t qubit);
+
+/// tr(rho_q^2) in [1/2, 1]; 1 iff qubit q is unentangled with the rest.
+[[nodiscard]] double single_qubit_purity(const StateVector& state,
+                                         std::size_t qubit);
+
+/// Meyer-Wallach global entanglement Q in [0, 1].
+[[nodiscard]] double meyer_wallach(const StateVector& state);
+
+}  // namespace qbarren

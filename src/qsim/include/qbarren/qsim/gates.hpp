@@ -1,0 +1,66 @@
+// Gate matrix library.
+//
+// All single-qubit rotation gates follow the physics convention
+//   R_P(theta) = exp(-i * theta * P / 2),
+// which is what PennyLane uses and what the parameter-shift rule
+//   dC/dtheta = (C(theta + pi/2) - C(theta - pi/2)) / 2
+// assumes. Qubit 0 is the least-significant bit of the basis index; for
+// two-qubit matrices the first listed qubit is the low-order index bit.
+#pragma once
+
+#include <string>
+
+#include "qbarren/linalg/matrix.hpp"
+
+namespace qbarren::gates {
+
+// --- fixed single-qubit gates -------------------------------------------
+
+[[nodiscard]] ComplexMatrix identity2();
+[[nodiscard]] ComplexMatrix pauli_x();
+[[nodiscard]] ComplexMatrix pauli_y();
+[[nodiscard]] ComplexMatrix pauli_z();
+[[nodiscard]] ComplexMatrix hadamard();
+[[nodiscard]] ComplexMatrix s_gate();   ///< sqrt(Z), diag(1, i)
+[[nodiscard]] ComplexMatrix t_gate();   ///< diag(1, e^{i pi/4})
+
+// --- parameterized single-qubit gates ------------------------------------
+
+[[nodiscard]] ComplexMatrix rx(double theta);
+[[nodiscard]] ComplexMatrix ry(double theta);
+[[nodiscard]] ComplexMatrix rz(double theta);
+/// Phase gate diag(1, e^{i theta}).
+[[nodiscard]] ComplexMatrix phase(double theta);
+/// General single-qubit rotation U3(theta, phi, lambda) (OpenQASM
+/// convention).
+[[nodiscard]] ComplexMatrix u3(double theta, double phi, double lambda);
+
+// --- two-qubit gates ------------------------------------------------------
+
+[[nodiscard]] ComplexMatrix cz();     ///< controlled-Z (symmetric)
+[[nodiscard]] ComplexMatrix cnot();   ///< control = low-order qubit
+[[nodiscard]] ComplexMatrix swap();
+[[nodiscard]] ComplexMatrix crz(double theta);  ///< controlled RZ
+
+// --- generators -----------------------------------------------------------
+
+/// The rotation axes supported by parameterized rotations. A rotation gate
+/// R_P(theta) has generator P/2, i.e. dR/dtheta = (-i/2) P R.
+enum class Axis { kX, kY, kZ };
+
+/// Pauli matrix for an axis.
+[[nodiscard]] ComplexMatrix pauli(Axis axis);
+
+/// Rotation about an axis: rx/ry/rz dispatch.
+[[nodiscard]] ComplexMatrix rotation(Axis axis, double theta);
+
+/// Derivative of the rotation matrix: dR_P(theta)/dtheta = (-i/2) P R_P.
+[[nodiscard]] ComplexMatrix rotation_derivative(Axis axis, double theta);
+
+/// Human-readable axis name ("RX"/"RY"/"RZ").
+[[nodiscard]] std::string axis_name(Axis axis);
+
+/// Parses "RX"/"RY"/"RZ" (case-insensitive); throws NotFound otherwise.
+[[nodiscard]] Axis axis_from_name(const std::string& name);
+
+}  // namespace qbarren::gates

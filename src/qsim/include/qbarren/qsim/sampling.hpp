@@ -1,0 +1,43 @@
+// Finite-shot measurement sampling.
+//
+// The exact simulator reads probabilities directly from amplitudes (the
+// paper's analytic mode). Real NISQ executions estimate them from a finite
+// number of shots; these helpers sample computational-basis measurements
+// and build shot-noise-limited estimators, letting experiments quantify
+// how many shots gradient resolution on a plateau would require
+// (bench_ablation_shots).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "qbarren/common/rng.hpp"
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+
+/// Draws `shots` computational-basis outcomes (basis-state indices) from
+/// the exact distribution |amp_i|^2 by inverse-CDF sampling. Requires a
+/// normalized state (validated to 1e-8) and shots >= 1.
+[[nodiscard]] std::vector<std::size_t> sample_basis_states(
+    const StateVector& state, std::size_t shots, Rng& rng);
+
+/// Histogram of sample_basis_states: outcome index -> count.
+[[nodiscard]] std::map<std::size_t, std::size_t> sample_counts(
+    const StateVector& state, std::size_t shots, Rng& rng);
+
+/// Shot-based estimate of p(basis_index): count / shots.
+[[nodiscard]] double estimate_probability(const StateVector& state,
+                                          std::size_t basis_index,
+                                          std::size_t shots, Rng& rng);
+
+/// Shot-based estimate of the Eq 4 global cost 1 - p(|0...0>).
+[[nodiscard]] double estimate_global_cost(const StateVector& state,
+                                          std::size_t shots, Rng& rng);
+
+/// Standard error of a Bernoulli probability estimate:
+/// sqrt(p (1-p) / shots). The resolvable gradient floor at a given shot
+/// budget — gradients below roughly twice this value drown in shot noise.
+[[nodiscard]] double shot_noise_stderr(double p, std::size_t shots);
+
+}  // namespace qbarren

@@ -1,0 +1,45 @@
+#include "qbarren/qsim/entanglement.hpp"
+
+namespace qbarren {
+
+ComplexMatrix reduced_density_matrix_1q(const StateVector& state,
+                                        std::size_t qubit) {
+  QBARREN_REQUIRE(qubit < state.num_qubits(),
+                  "reduced_density_matrix_1q: qubit out of range");
+  const std::size_t bit = std::size_t{1} << qubit;
+  const auto& amps = state.amplitudes();
+
+  // rho_ab = sum over basis states with qubit = a (rows) against the same
+  // rest-configuration with qubit = b.
+  ComplexMatrix rho(2, 2);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (i & bit) continue;  // enumerate rest-configurations via qubit=0 states
+    const Complex a0 = amps[i];
+    const Complex a1 = amps[i | bit];
+    rho.at_unchecked(0, 0) += a0 * std::conj(a0);
+    rho.at_unchecked(0, 1) += a0 * std::conj(a1);
+    rho.at_unchecked(1, 0) += a1 * std::conj(a0);
+    rho.at_unchecked(1, 1) += a1 * std::conj(a1);
+  }
+  return rho;
+}
+
+double single_qubit_purity(const StateVector& state, std::size_t qubit) {
+  const ComplexMatrix rho = reduced_density_matrix_1q(state, qubit);
+  double acc = 0.0;
+  for (const Complex& v : rho.data()) {
+    acc += std::norm(v);
+  }
+  return acc;
+}
+
+double meyer_wallach(const StateVector& state) {
+  double mean_purity = 0.0;
+  for (std::size_t q = 0; q < state.num_qubits(); ++q) {
+    mean_purity += single_qubit_purity(state, q);
+  }
+  mean_purity /= static_cast<double>(state.num_qubits());
+  return 2.0 * (1.0 - mean_purity);
+}
+
+}  // namespace qbarren

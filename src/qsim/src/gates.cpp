@@ -1,0 +1,150 @@
+#include "qbarren/qsim/gates.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace qbarren::gates {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+
+ComplexMatrix make2(Complex a, Complex b, Complex c, Complex d) {
+  return ComplexMatrix(2, 2, {a, b, c, d});
+}
+}  // namespace
+
+ComplexMatrix identity2() { return make2(1, 0, 0, 1); }
+
+ComplexMatrix pauli_x() { return make2(0, 1, 1, 0); }
+
+ComplexMatrix pauli_y() { return make2(0, -kI, kI, 0); }
+
+ComplexMatrix pauli_z() { return make2(1, 0, 0, -1); }
+
+ComplexMatrix hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return make2(s, s, s, -s);
+}
+
+ComplexMatrix s_gate() { return make2(1, 0, 0, kI); }
+
+ComplexMatrix t_gate() {
+  return make2(1, 0, 0, std::exp(kI * (M_PI / 4.0)));
+}
+
+ComplexMatrix rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return make2(c, -kI * s, -kI * s, c);
+}
+
+ComplexMatrix ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return make2(c, -s, s, c);
+}
+
+ComplexMatrix rz(double theta) {
+  return make2(std::exp(-kI * (theta / 2.0)), 0, 0,
+               std::exp(kI * (theta / 2.0)));
+}
+
+ComplexMatrix phase(double theta) {
+  return make2(1, 0, 0, std::exp(kI * theta));
+}
+
+ComplexMatrix u3(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return make2(c, -std::exp(kI * lambda) * s, std::exp(kI * phi) * s,
+               std::exp(kI * (phi + lambda)) * c);
+}
+
+ComplexMatrix cz() {
+  ComplexMatrix m = ComplexMatrix::identity(4);
+  m(3, 3) = -1.0;
+  return m;
+}
+
+ComplexMatrix cnot() {
+  // Control = low-order qubit (bit 0), target = bit 1: basis order
+  // |q1 q0> = 00,01,10,11 -> flips target when bit 0 is set.
+  ComplexMatrix m(4, 4);
+  m(0, 0) = 1.0;
+  m(3, 1) = 1.0;
+  m(2, 2) = 1.0;
+  m(1, 3) = 1.0;
+  return m;
+}
+
+ComplexMatrix swap() {
+  ComplexMatrix m(4, 4);
+  m(0, 0) = 1.0;
+  m(2, 1) = 1.0;
+  m(1, 2) = 1.0;
+  m(3, 3) = 1.0;
+  return m;
+}
+
+ComplexMatrix crz(double theta) {
+  // Control = low-order qubit: rows/cols ordered |q1 q0>.
+  ComplexMatrix m = ComplexMatrix::identity(4);
+  m(1, 1) = std::exp(-kI * (theta / 2.0));
+  m(3, 3) = std::exp(kI * (theta / 2.0));
+  return m;
+}
+
+ComplexMatrix pauli(Axis axis) {
+  switch (axis) {
+    case Axis::kX:
+      return pauli_x();
+    case Axis::kY:
+      return pauli_y();
+    case Axis::kZ:
+      return pauli_z();
+  }
+  throw InvalidArgument("pauli: invalid axis");
+}
+
+ComplexMatrix rotation(Axis axis, double theta) {
+  switch (axis) {
+    case Axis::kX:
+      return rx(theta);
+    case Axis::kY:
+      return ry(theta);
+    case Axis::kZ:
+      return rz(theta);
+  }
+  throw InvalidArgument("rotation: invalid axis");
+}
+
+ComplexMatrix rotation_derivative(Axis axis, double theta) {
+  const ComplexMatrix r = rotation(axis, theta);
+  const ComplexMatrix p = pauli(axis);
+  return (Complex(0.0, -0.5)) * (p * r);
+}
+
+std::string axis_name(Axis axis) {
+  switch (axis) {
+    case Axis::kX:
+      return "RX";
+    case Axis::kY:
+      return "RY";
+    case Axis::kZ:
+      return "RZ";
+  }
+  return "R?";
+}
+
+Axis axis_from_name(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char ch) { return std::toupper(ch); });
+  if (upper == "RX" || upper == "X") return Axis::kX;
+  if (upper == "RY" || upper == "Y") return Axis::kY;
+  if (upper == "RZ" || upper == "Z") return Axis::kZ;
+  throw NotFound("axis_from_name: unknown rotation axis '" + name + "'");
+}
+
+}  // namespace qbarren::gates

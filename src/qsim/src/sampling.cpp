@@ -1,0 +1,68 @@
+#include "qbarren/qsim/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbarren {
+
+std::vector<std::size_t> sample_basis_states(const StateVector& state,
+                                             std::size_t shots, Rng& rng) {
+  QBARREN_REQUIRE(shots >= 1, "sample_basis_states: need >= 1 shot");
+  QBARREN_REQUIRE(std::abs(state.norm_squared() - 1.0) < 1e-8,
+                  "sample_basis_states: state is not normalized");
+
+  // Cumulative distribution over basis states.
+  const std::size_t dim = state.dimension();
+  std::vector<double> cdf(dim);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    acc += std::norm(state.amplitudes()[i]);
+    cdf[i] = acc;
+  }
+  cdf[dim - 1] = 1.0;  // guard against roundoff at the top
+
+  std::vector<std::size_t> outcomes(shots);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double u = rng.uniform(0.0, 1.0);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    outcomes[s] = static_cast<std::size_t>(it - cdf.begin());
+  }
+  return outcomes;
+}
+
+std::map<std::size_t, std::size_t> sample_counts(const StateVector& state,
+                                                 std::size_t shots,
+                                                 Rng& rng) {
+  std::map<std::size_t, std::size_t> counts;
+  for (const std::size_t outcome : sample_basis_states(state, shots, rng)) {
+    ++counts[outcome];
+  }
+  return counts;
+}
+
+double estimate_probability(const StateVector& state, std::size_t basis_index,
+                            std::size_t shots, Rng& rng) {
+  QBARREN_REQUIRE(basis_index < state.dimension(),
+                  "estimate_probability: basis index out of range");
+  std::size_t hits = 0;
+  for (const std::size_t outcome : sample_basis_states(state, shots, rng)) {
+    if (outcome == basis_index) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(shots);
+}
+
+double estimate_global_cost(const StateVector& state, std::size_t shots,
+                            Rng& rng) {
+  return 1.0 - estimate_probability(state, 0, shots, rng);
+}
+
+double shot_noise_stderr(double p, std::size_t shots) {
+  QBARREN_REQUIRE(p >= 0.0 && p <= 1.0,
+                  "shot_noise_stderr: p must be in [0, 1]");
+  QBARREN_REQUIRE(shots >= 1, "shot_noise_stderr: need >= 1 shot");
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(shots));
+}
+
+}  // namespace qbarren

@@ -1,0 +1,112 @@
+// Unit tests for the CLI option parser.
+#include "qbarren/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> allowed = {}) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(),
+                 std::move(allowed));
+}
+
+TEST(CliArgs, SpaceSeparatedValue) {
+  const CliArgs args = parse({"--qubits", "10"});
+  EXPECT_TRUE(args.has("qubits"));
+  EXPECT_EQ(args.get_int("qubits", 0), 10);
+}
+
+TEST(CliArgs, EqualsSeparatedValue) {
+  const CliArgs args = parse({"--seed=99"});
+  EXPECT_EQ(args.get_uint("seed", 0), 99u);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const CliArgs args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, FlagFollowedByOptionIsBoolean) {
+  const CliArgs args = parse({"--verbose", "--qubits", "4"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("qubits", 0), 4);
+}
+
+TEST(CliArgs, MissingOptionUsesFallback) {
+  const CliArgs args = parse({});
+  EXPECT_FALSE(args.has("qubits"));
+  EXPECT_EQ(args.get_int("qubits", 7), 7);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.5), 0.5);
+  EXPECT_FALSE(args.get_bool("flag", false));
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const CliArgs args = parse({"--lr", "0.125"});
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.125);
+}
+
+TEST(CliArgs, BoolVariants) {
+  EXPECT_TRUE(parse({"--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=on"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"--f=no"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"--f=off"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"--f=0"}).get_bool("f", true));
+  EXPECT_THROW((void)parse({"--f=maybe"}).get_bool("f", false),
+               InvalidArgument);
+}
+
+TEST(CliArgs, IntListParsing) {
+  const CliArgs args = parse({"--qubits", "2,4,6,8,10"});
+  const std::vector<int> expected{2, 4, 6, 8, 10};
+  EXPECT_EQ(args.get_int_list("qubits", {}), expected);
+}
+
+TEST(CliArgs, IntListFallback) {
+  const CliArgs args = parse({});
+  const std::vector<int> fb{1, 2};
+  EXPECT_EQ(args.get_int_list("qubits", fb), fb);
+}
+
+TEST(CliArgs, IntListRejectsGarbage) {
+  const CliArgs args = parse({"--qubits", "2,x,4"});
+  EXPECT_THROW((void)args.get_int_list("qubits", {}), InvalidArgument);
+}
+
+TEST(CliArgs, NumberParsingRejectsGarbage) {
+  const CliArgs args = parse({"--n", "abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW((void)args.get_uint("n", 0), InvalidArgument);
+  EXPECT_THROW((void)args.get_double("n", 0.0), InvalidArgument);
+}
+
+TEST(CliArgs, UnknownOptionRejectedWhenAllowlisted) {
+  EXPECT_THROW(parse({"--typo", "1"}, {"qubits"}), InvalidArgument);
+  EXPECT_NO_THROW(parse({"--qubits", "1"}, {"qubits"}));
+}
+
+TEST(CliArgs, EmptyAllowlistAcceptsAnything) {
+  EXPECT_NO_THROW(parse({"--whatever", "1"}));
+}
+
+TEST(CliArgs, PositionalArgumentsPreserved) {
+  const CliArgs args = parse({"file1", "--q", "2", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(CliArgs, NegativeNumbersAsValues) {
+  // A leading dash on a value is fine as long as it is not "--".
+  const CliArgs args = parse({"--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,145 @@
+// Tests for the expressibility / entanglement ensemble analysis.
+#include "qbarren/bp/expressibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/init/registry.hpp"
+
+namespace qbarren {
+namespace {
+
+ExpressibilityOptions small_options() {
+  ExpressibilityOptions options;
+  options.qubits = 3;
+  options.layers = 3;
+  options.pairs = 60;
+  options.bins = 20;
+  options.seed = 17;
+  return options;
+}
+
+TEST(HaarMass, SumsToOneAndIsMonotone) {
+  const std::size_t dim = 8;
+  double total = 0.0;
+  double previous = 1e9;
+  const std::size_t bins = 10;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double lo = static_cast<double>(b) / bins;
+    const double hi = static_cast<double>(b + 1) / bins;
+    const double mass = haar_fidelity_mass(lo, hi, dim);
+    EXPECT_GE(mass, 0.0);
+    EXPECT_LE(mass, previous);  // density (N-1)(1-F)^{N-2} is decreasing
+    previous = mass;
+    total += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HaarMass, Validation) {
+  EXPECT_THROW((void)haar_fidelity_mass(0.2, 0.1, 4), InvalidArgument);
+  EXPECT_THROW((void)haar_fidelity_mass(-0.1, 0.5, 4), InvalidArgument);
+  EXPECT_THROW((void)haar_fidelity_mass(0.0, 1.0, 1), InvalidArgument);
+}
+
+TEST(Expressibility, ValidatesInputs) {
+  const auto random = make_initializer("random");
+  EXPECT_THROW((void)analyze_expressibility({}, small_options()),
+               InvalidArgument);
+  EXPECT_THROW((void)analyze_expressibility({nullptr}, small_options()),
+               InvalidArgument);
+  ExpressibilityOptions bad = small_options();
+  bad.pairs = 5;
+  EXPECT_THROW((void)analyze_expressibility({random.get()}, bad),
+               InvalidArgument);
+  bad = small_options();
+  bad.bins = 1;
+  EXPECT_THROW((void)analyze_expressibility({random.get()}, bad),
+               InvalidArgument);
+}
+
+TEST(Expressibility, RandomEnsembleIsMoreHaarLikeThanNearIdentity) {
+  // The core trade-off: random initialization explores the space
+  // (Haar-like, low KL), near-identity strategies concentrate near one
+  // state (high KL, high mean pairwise fidelity).
+  const auto random = make_initializer("random");
+  const auto small = make_initializer("small-normal");
+  const auto results =
+      analyze_expressibility({random.get(), small.get()}, small_options());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].kl_divergence, results[1].kl_divergence);
+  EXPECT_LT(results[0].mean_fidelity, results[1].mean_fidelity);
+  EXPECT_GT(results[1].mean_fidelity, 0.5);
+}
+
+TEST(Expressibility, EntanglementOrderingMatchesInitializationScale) {
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const auto results = analyze_expressibility({random.get(), xavier.get()},
+                                              small_options());
+  EXPECT_GT(results[0].mean_entanglement, results[1].mean_entanglement);
+  for (const auto& r : results) {
+    EXPECT_GE(r.mean_entanglement, 0.0);
+    EXPECT_LE(r.mean_entanglement, 1.0);
+  }
+}
+
+TEST(Expressibility, DeterministicGivenSeed) {
+  const auto random = make_initializer("random");
+  const auto a = analyze_expressibility({random.get()}, small_options());
+  const auto b = analyze_expressibility({random.get()}, small_options());
+  EXPECT_DOUBLE_EQ(a[0].kl_divergence, b[0].kl_divergence);
+  EXPECT_DOUBLE_EQ(a[0].mean_fidelity, b[0].mean_fidelity);
+}
+
+TEST(Expressibility, RandomMeanFidelityNearHaarValue) {
+  // Haar mean fidelity on an N-dimensional space is 1/N.
+  ExpressibilityOptions options = small_options();
+  options.pairs = 200;
+  const auto random = make_initializer("random");
+  const auto results = analyze_expressibility({random.get()}, options);
+  EXPECT_NEAR(results[0].mean_fidelity, 1.0 / 8.0, 0.06);
+}
+
+TEST(Expressibility, TableShape) {
+  const auto random = make_initializer("random");
+  const auto results = analyze_expressibility({random.get()},
+                                              small_options());
+  const Table table = expressibility_table(results);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.columns(), 5u);
+  EXPECT_EQ(table.data()[0][0], "random");
+}
+
+TEST(FramePotential, HaarValues) {
+  // F_1^Haar = 1/N, F_2^Haar = 2/(N(N+1)).
+  EXPECT_NEAR(haar_frame_potential(1, 8), 1.0 / 8.0, 1e-15);
+  EXPECT_NEAR(haar_frame_potential(2, 8), 2.0 / (8.0 * 9.0), 1e-15);
+  EXPECT_NEAR(haar_frame_potential(2, 4), 0.1, 1e-15);
+  EXPECT_THROW((void)haar_frame_potential(0, 8), InvalidArgument);
+  EXPECT_THROW((void)haar_frame_potential(2, 1), InvalidArgument);
+}
+
+TEST(FramePotential, RandomEnsembleApproaches2Design) {
+  // Deep random HEA ensembles approach a 2-design: ratio near 1. Near-
+  // identity ensembles concentrate: ratio >> 1.
+  ExpressibilityOptions options = small_options();
+  options.pairs = 200;
+  const auto random = make_initializer("random");
+  const auto small = make_initializer("small-normal");
+  const auto results =
+      analyze_expressibility({random.get(), small.get()}, options);
+  EXPECT_GT(results[0].frame_potential_ratio, 0.8);
+  EXPECT_LT(results[0].frame_potential_ratio, 2.0);
+  EXPECT_GT(results[1].frame_potential_ratio, 5.0);
+  // F_2 >= F_1^2 (Jensen) and both are bounded by 1.
+  for (const auto& r : results) {
+    EXPECT_GE(r.frame_potential_2,
+              r.mean_fidelity * r.mean_fidelity - 1e-12);
+    EXPECT_LE(r.frame_potential_2, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,133 @@
+// Tests for the light-cone (structural zero-gradient) analysis, including
+// verification against actual gradients.
+#include "qbarren/bp/lightcone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/obs/observable.hpp"
+
+namespace qbarren {
+namespace {
+
+TEST(LightCone, Validation) {
+  const Circuit c(2);
+  EXPECT_THROW((void)analyze_light_cone(c, {}), InvalidArgument);
+  EXPECT_THROW((void)analyze_light_cone(c, {2}), InvalidArgument);
+}
+
+TEST(LightCone, AllAliveForFullSupportObservable) {
+  Rng rng(1);
+  VarianceAnsatzOptions options;
+  options.layers = 5;
+  const Circuit c = variance_ansatz(4, rng, options);
+  const LightConeReport report = analyze_light_cone(c, {0, 1, 2, 3});
+  EXPECT_EQ(report.dead_count, 0u);
+}
+
+TEST(LightCone, LastRotationDeadForLocalObservable) {
+  // The effect behind the ZZ ablation: the last layer's rotations on
+  // qubits outside {0, 1} see only the (commuting) CZ ladder between them
+  // and the observable.
+  Rng rng(2);
+  VarianceAnsatzOptions options;
+  options.layers = 4;
+  const Circuit c = variance_ansatz(5, rng, options);
+  const LightConeReport report = analyze_light_cone(c, {0, 1});
+  EXPECT_GT(report.dead_count, 0u);
+  // The very last rotation acts on qubit 4 — dead.
+  EXPECT_FALSE(report.alive[c.num_parameters() - 1]);
+  // The first layer's rotations are behind the full circuit — alive.
+  EXPECT_TRUE(report.alive[0]);
+}
+
+TEST(LightCone, StructurallyDeadParametersHaveZeroGradient) {
+  // Verify the static analysis against actual parameter-shift gradients:
+  // every "dead" parameter must measure exactly zero for every random
+  // parameter draw (up to roundoff).
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 3;
+  const Circuit c = variance_ansatz(4, rng, options);
+  std::string zz(4, 'I');
+  zz[0] = 'Z';
+  zz[1] = 'Z';
+  const PauliStringObservable obs(zz);
+  const LightConeReport report = analyze_light_cone(c, {0, 1});
+  ASSERT_GT(report.dead_count, 0u);
+
+  const ParameterShiftEngine engine;
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    Rng prng = Rng(40).child(trial);
+    const auto params =
+        prng.uniform_vector(c.num_parameters(), 0.0, 2.0 * M_PI);
+    const auto grad = engine.gradient(c, obs, params);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      if (!report.alive[i]) {
+        EXPECT_NEAR(grad[i], 0.0, 1e-12) << "dead param " << i;
+      }
+    }
+  }
+}
+
+TEST(LightCone, NoEntanglersMeansOnlyDirectQubitsAlive) {
+  Circuit c(3);
+  (void)c.add_rotation(gates::Axis::kX, 0);
+  (void)c.add_rotation(gates::Axis::kY, 1);
+  (void)c.add_rotation(gates::Axis::kZ, 2);
+  const LightConeReport report = analyze_light_cone(c, {1});
+  EXPECT_TRUE(report.alive[1]);
+  EXPECT_FALSE(report.alive[0]);
+  EXPECT_FALSE(report.alive[2]);
+  EXPECT_EQ(report.dead_count, 2u);
+}
+
+TEST(LightCone, EntanglerExtendsSupportBackward) {
+  Circuit c(2);
+  (void)c.add_rotation(gates::Axis::kX, 1);  // before the CZ: alive
+  c.add_cz(0, 1);
+  (void)c.add_rotation(gates::Axis::kX, 1);  // after the CZ: dead for {0}
+  const LightConeReport report = analyze_light_cone(c, {0});
+  EXPECT_TRUE(report.alive[0]);
+  EXPECT_FALSE(report.alive[1]);
+}
+
+TEST(LightCone, TableShape) {
+  Circuit c(2);
+  (void)c.add_rotation(gates::Axis::kX, 0);
+  const LightConeReport report = analyze_light_cone(c, {0});
+  const Table table = light_cone_table({{"toy", report}});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_EQ(table.data()[0][0], "toy");
+  EXPECT_EQ(table.data()[0][2], "0");
+}
+
+// Property: the deeper the observable's support spreads, the fewer dead
+// parameters remain; full support is always a lower bound of zero dead.
+class LightConeMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LightConeMonotone, WiderSupportNeverIncreasesDeadCount) {
+  Rng rng(GetParam());
+  VarianceAnsatzOptions options;
+  options.layers = 4;
+  const Circuit c = variance_ansatz(5, rng, options);
+  std::vector<std::size_t> support{0};
+  std::size_t previous_dead = c.num_parameters() + 1;
+  for (std::size_t q = 1; q <= 4; ++q) {
+    const LightConeReport report = analyze_light_cone(c, support);
+    EXPECT_LE(report.dead_count, previous_dead);
+    previous_dead = report.dead_count;
+    support.push_back(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LightConeMonotone,
+                         ::testing::Values(10, 11, 12, 13));
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,169 @@
+// Unit tests for DenseMatrix (real and complex).
+#include "qbarren/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbarren/linalg/checks.hpp"
+
+namespace qbarren {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.is_square());
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, RejectsZeroDimensions) {
+  EXPECT_THROW(RealMatrix(0, 1), InvalidArgument);
+  EXPECT_THROW(RealMatrix(1, 0), InvalidArgument);
+}
+
+TEST(DenseMatrix, DataConstructorChecksSize) {
+  EXPECT_THROW(RealMatrix(2, 2, {1.0, 2.0}), InvalidArgument);
+  const RealMatrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, IndexOutOfRangeThrows) {
+  RealMatrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), InvalidArgument);
+  EXPECT_THROW((void)m(0, 2), InvalidArgument);
+}
+
+TEST(DenseMatrix, IdentityIsIdentity) {
+  const RealMatrix id = RealMatrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, MultiplyKnownValues) {
+  const RealMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const RealMatrix b(2, 2, {5.0, 6.0, 7.0, 8.0});
+  const RealMatrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, MultiplyRectangular) {
+  const RealMatrix a(1, 3, {1.0, 2.0, 3.0});
+  const RealMatrix b(3, 1, {4.0, 5.0, 6.0});
+  const RealMatrix c = a * b;
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 32.0);
+}
+
+TEST(DenseMatrix, MultiplyShapeMismatchThrows) {
+  const RealMatrix a(2, 3);
+  const RealMatrix b(2, 3);
+  EXPECT_THROW((void)(a * b), InvalidArgument);
+}
+
+TEST(DenseMatrix, AddSubtract) {
+  const RealMatrix a(1, 2, {1.0, 2.0});
+  const RealMatrix b(1, 2, {10.0, 20.0});
+  const RealMatrix sum = a + b;
+  const RealMatrix diff = b - a;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(sum(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  EXPECT_THROW((void)(a + RealMatrix(2, 2)), InvalidArgument);
+  EXPECT_THROW((void)(a - RealMatrix(2, 1)), InvalidArgument);
+}
+
+TEST(DenseMatrix, ScalarMultiply) {
+  const RealMatrix a(1, 2, {1.0, -2.0});
+  const RealMatrix s = 3.0 * a;
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), -6.0);
+}
+
+TEST(DenseMatrix, Transpose) {
+  const RealMatrix a(2, 3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const RealMatrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(DenseMatrix, ApplyVector) {
+  const RealMatrix a(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const std::vector<double> v{3.0, 7.0};
+  const auto out = a.apply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_THROW((void)a.apply({1.0}), InvalidArgument);
+}
+
+TEST(ComplexMatrix, AdjointConjugatesAndTransposes) {
+  ComplexMatrix m(2, 2);
+  m(0, 1) = Complex{1.0, 2.0};
+  m(1, 0) = Complex{3.0, -4.0};
+  const ComplexMatrix a = adjoint(m);
+  EXPECT_EQ(a(1, 0), (Complex{1.0, -2.0}));
+  EXPECT_EQ(a(0, 1), (Complex{3.0, 4.0}));
+}
+
+TEST(Kron, KnownValues) {
+  const RealMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const RealMatrix b(2, 2, {0.0, 1.0, 1.0, 0.0});
+  const RealMatrix k = kron(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  // Top-left block = 1 * b.
+  EXPECT_DOUBLE_EQ(k(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(k(0, 1), 1.0);
+  // Top-right block = 2 * b.
+  EXPECT_DOUBLE_EQ(k(0, 3), 2.0);
+  // Bottom-right block = 4 * b.
+  EXPECT_DOUBLE_EQ(k(3, 2), 4.0);
+}
+
+TEST(Kron, IdentityIsNeutralUpToOrdering) {
+  const RealMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const RealMatrix k = kron(RealMatrix::identity(1), a);
+  EXPECT_DOUBLE_EQ(max_abs_diff(k, a), 0.0);
+}
+
+TEST(FrobeniusDistance, ZeroForEqualAndPositiveOtherwise) {
+  const RealMatrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  RealMatrix b = a;
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 0.0);
+  b(0, 0) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_distance(a, b), 3.0);
+  EXPECT_THROW((void)frobenius_distance(a, RealMatrix(1, 1)),
+               InvalidArgument);
+}
+
+TEST(Checks, UnitaryAndHermitianPredicates) {
+  ComplexMatrix h(2, 2);
+  h(0, 1) = Complex{0.0, -1.0};
+  h(1, 0) = Complex{0.0, 1.0};  // Pauli-Y: both Hermitian and unitary
+  EXPECT_TRUE(is_unitary(h));
+  EXPECT_TRUE(is_hermitian(h));
+
+  ComplexMatrix not_unitary(2, 2);
+  not_unitary(0, 0) = 2.0;
+  not_unitary(1, 1) = 1.0;
+  EXPECT_FALSE(is_unitary(not_unitary));
+  EXPECT_TRUE(is_hermitian(not_unitary));
+
+  EXPECT_FALSE(is_unitary(ComplexMatrix(2, 3)));
+  EXPECT_FALSE(is_hermitian(ComplexMatrix(2, 3)));
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,230 @@
+// Tests for the optimizers: hand-computed single steps, convergence on a
+// convex quadratic, reset semantics, and validation.
+#include "qbarren/opt/optimizers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+namespace {
+
+// Minimizes f(x) = 0.5 * ||x - target||^2 (gradient x - target).
+std::vector<double> run_quadratic(Optimizer& opt, std::vector<double> x,
+                                  const std::vector<double>& target,
+                                  int steps) {
+  opt.reset(x.size());
+  std::vector<double> grad(x.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      grad[i] = x[i] - target[i];
+    }
+    opt.step(x, grad);
+  }
+  return x;
+}
+
+double distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(acc);
+}
+
+TEST(GradientDescentOpt, SingleStepIsExactlyLrTimesGrad) {
+  GradientDescent opt(0.1);
+  opt.reset(2);
+  std::vector<double> params{1.0, -2.0};
+  const std::vector<double> grad{0.5, 1.0};
+  opt.step(params, grad);
+  EXPECT_DOUBLE_EQ(params[0], 1.0 - 0.1 * 0.5);
+  EXPECT_DOUBLE_EQ(params[1], -2.0 - 0.1 * 1.0);
+}
+
+TEST(GradientDescentOpt, ConvergesOnQuadratic) {
+  GradientDescent opt(0.5);
+  const std::vector<double> target{3.0, -1.0, 0.5};
+  const auto x = run_quadratic(opt, {0.0, 0.0, 0.0}, target, 50);
+  EXPECT_LT(distance(x, target), 1e-6);
+}
+
+TEST(AdamOpt, FirstStepHasMagnitudeLr) {
+  // With bias correction, Adam's first update is lr * g / (|g| + eps').
+  AdamOptimizer opt(0.1);
+  opt.reset(2);
+  std::vector<double> params{0.0, 0.0};
+  const std::vector<double> grad{0.3, -400.0};
+  opt.step(params, grad);
+  EXPECT_NEAR(params[0], -0.1, 1e-6);
+  EXPECT_NEAR(params[1], 0.1, 1e-6);
+}
+
+TEST(AdamOpt, ConvergesOnQuadratic) {
+  AdamOptimizer opt(0.3);
+  const std::vector<double> target{2.0, -5.0};
+  const auto x = run_quadratic(opt, {0.0, 0.0}, target, 200);
+  EXPECT_LT(distance(x, target), 1e-3);
+}
+
+TEST(MomentumOpt, AcceleratesRelativeToGd) {
+  // On an ill-conditioned quadratic, momentum makes more progress than GD
+  // in the same number of steps at the same learning rate.
+  const std::vector<double> target{10.0};
+  GradientDescent gd(0.05);
+  MomentumOptimizer momentum(0.05, 0.9);
+  const auto x_gd = run_quadratic(gd, {0.0}, target, 20);
+  const auto x_m = run_quadratic(momentum, {0.0}, target, 20);
+  EXPECT_LT(distance(x_m, target), distance(x_gd, target));
+}
+
+TEST(MomentumOpt, ConvergesOnQuadratic) {
+  MomentumOptimizer opt(0.1, 0.8);
+  const std::vector<double> target{1.0, 2.0};
+  const auto x = run_quadratic(opt, {0.0, 0.0}, target, 150);
+  EXPECT_LT(distance(x, target), 1e-5);
+}
+
+TEST(NesterovOpt, ConvergesOnQuadratic) {
+  NesterovOptimizer opt(0.05, 0.9);
+  const std::vector<double> target{-4.0};
+  const auto x = run_quadratic(opt, {0.0}, target, 200);
+  EXPECT_LT(distance(x, target), 1e-5);
+}
+
+TEST(RmsPropOpt, ConvergesOnQuadratic) {
+  RmsPropOptimizer opt(0.05);
+  const std::vector<double> target{1.5, -0.5};
+  const auto x = run_quadratic(opt, {0.0, 0.0}, target, 400);
+  EXPECT_LT(distance(x, target), 1e-2);
+}
+
+TEST(AmsGradOpt, ConvergesOnQuadratic) {
+  AmsGradOptimizer opt(0.3);
+  const std::vector<double> target{2.0, -3.0};
+  const auto x = run_quadratic(opt, {0.0, 0.0}, target, 300);
+  EXPECT_LT(distance(x, target), 1e-2);
+}
+
+TEST(Optimizers, ResetClearsState) {
+  AdamOptimizer opt(0.1);
+  opt.reset(1);
+  std::vector<double> a{0.0};
+  const std::vector<double> grad{1.0};
+  opt.step(a, grad);
+  const double first_update = a[0];
+
+  opt.reset(1);
+  std::vector<double> b{0.0};
+  opt.step(b, grad);
+  EXPECT_DOUBLE_EQ(b[0], first_update);
+}
+
+TEST(Optimizers, CloneIsFreshAndIndependent) {
+  MomentumOptimizer opt(0.1, 0.9);
+  opt.reset(1);
+  std::vector<double> x{0.0};
+  const std::vector<double> grad{1.0};
+  opt.step(x, grad);  // builds velocity
+
+  const auto clone = opt.clone();
+  clone->reset(1);
+  std::vector<double> y{0.0};
+  clone->step(y, grad);
+  // A fresh clone has zero velocity: first step identical to plain GD.
+  EXPECT_DOUBLE_EQ(y[0], -0.1);
+}
+
+TEST(Optimizers, StatefulOptimizersRequireMatchingReset) {
+  AdamOptimizer adam(0.1);
+  adam.reset(2);
+  std::vector<double> x{0.0};
+  const std::vector<double> grad{1.0};
+  EXPECT_THROW(adam.step(x, grad), InvalidArgument);
+}
+
+TEST(Optimizers, StepValidatesSizes) {
+  GradientDescent gd(0.1);
+  gd.reset(2);
+  std::vector<double> x{0.0, 0.0};
+  const std::vector<double> grad{1.0};
+  EXPECT_THROW(gd.step(x, grad), InvalidArgument);
+}
+
+TEST(Optimizers, HyperparameterValidation) {
+  EXPECT_THROW(GradientDescent(0.0), InvalidArgument);
+  EXPECT_THROW(GradientDescent(-0.1), InvalidArgument);
+  EXPECT_THROW(MomentumOptimizer(0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(NesterovOptimizer(0.1, -0.1), InvalidArgument);
+  EXPECT_THROW(RmsPropOptimizer(0.1, 1.5), InvalidArgument);
+  EXPECT_THROW(AdamOptimizer(0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 1.0), InvalidArgument);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 0.999, 0.0), InvalidArgument);
+  EXPECT_THROW(AmsGradOptimizer(0.1, 0.9, 0.999, -1.0), InvalidArgument);
+}
+
+TEST(AdaGradOpt, ConvergesOnQuadratic) {
+  AdaGradOptimizer opt(0.5);
+  const std::vector<double> target{2.0, -1.0};
+  const auto x = run_quadratic(opt, {0.0, 0.0}, target, 500);
+  EXPECT_LT(distance(x, target), 0.05);
+}
+
+TEST(AdaGradOpt, StepSizeShrinksOverTime) {
+  // Accumulated squared gradients monotonically shrink the effective step.
+  AdaGradOptimizer opt(1.0);
+  opt.reset(1);
+  std::vector<double> x{0.0};
+  const std::vector<double> grad{1.0};
+  opt.step(x, grad);
+  const double first = -x[0];
+  const double before = x[0];
+  opt.step(x, grad);
+  const double second = before - x[0];
+  EXPECT_LT(second, first);
+}
+
+TEST(AdadeltaOpt, ConvergesOnQuadratic) {
+  AdadeltaOptimizer opt(0.9, 1e-4);
+  const std::vector<double> target{1.0};
+  const auto x = run_quadratic(opt, {0.0}, target, 3000);
+  EXPECT_LT(distance(x, target), 0.05);
+}
+
+TEST(AdaGradAdadelta, Validation) {
+  EXPECT_THROW(AdaGradOptimizer(0.0), InvalidArgument);
+  EXPECT_THROW(AdaGradOptimizer(0.1, 0.0), InvalidArgument);
+  EXPECT_THROW(AdadeltaOptimizer(1.0), InvalidArgument);
+  EXPECT_THROW(AdadeltaOptimizer(0.9, 0.0), InvalidArgument);
+}
+
+TEST(Factory, KnownNamesAndAliases) {
+  for (const char* name :
+       {"gradient-descent", "gd", "momentum", "nesterov", "rmsprop", "adam",
+        "amsgrad", "adagrad", "adadelta"}) {
+    EXPECT_NE(make_optimizer(name, 0.1), nullptr) << name;
+  }
+  EXPECT_EQ(make_optimizer("gd", 0.1)->name(), "gradient-descent");
+  EXPECT_THROW((void)make_optimizer("sgdw", 0.1), NotFound);
+}
+
+// Property sweep: every optimizer monotonically shrinks the distance to
+// the optimum of a well-conditioned quadratic within its budget.
+class AllOptimizersConverge : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllOptimizersConverge, ReachesNeighborhoodOfOptimum) {
+  const auto opt = make_optimizer(GetParam(), 0.05);
+  const std::vector<double> target{1.0, -2.0, 3.0};
+  const auto x = run_quadratic(*opt, {0.0, 0.0, 0.0}, target, 500);
+  EXPECT_LT(distance(x, target), 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, AllOptimizersConverge,
+                         ::testing::Values("gradient-descent", "momentum",
+                                           "nesterov", "rmsprop", "adam",
+                                           "amsgrad"));
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,193 @@
+// Tests for the peephole circuit optimizer.
+#include "qbarren/circuit/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/circuit/pauli_rotation.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/linalg/checks.hpp"
+
+namespace qbarren {
+namespace {
+
+void expect_equivalent(const Circuit& a, const Circuit& b,
+                       const std::vector<double>& params) {
+  const ComplexMatrix ua = a.unitary(params);
+  const ComplexMatrix ub = b.unitary(params);
+  EXPECT_LT(max_abs_diff(ua, ub), 1e-10);
+}
+
+TEST(OptimizeCircuit, DropsZeroAngleFixedRotations) {
+  Circuit c(1);
+  c.add_fixed_rotation(gates::Axis::kX, 0, 0.0);
+  c.add_hadamard(0);
+  c.add_fixed_rotation(gates::Axis::kZ, 0, 0.0);
+  OptimizeStats stats;
+  const Circuit opt = optimize_circuit(c, &stats);
+  EXPECT_EQ(opt.num_operations(), 1u);
+  EXPECT_EQ(stats.removed_operations, 2u);
+  expect_equivalent(c, opt, {});
+}
+
+TEST(OptimizeCircuit, FusesSameAxisFixedRotations) {
+  Circuit c(1);
+  c.add_fixed_rotation(gates::Axis::kY, 0, 0.3);
+  c.add_fixed_rotation(gates::Axis::kY, 0, 0.4);
+  OptimizeStats stats;
+  const Circuit opt = optimize_circuit(c, &stats);
+  EXPECT_EQ(opt.num_operations(), 1u);
+  EXPECT_EQ(stats.fused_rotations, 1u);
+  EXPECT_DOUBLE_EQ(opt.operations()[0].fixed_angle, 0.7);
+  expect_equivalent(c, opt, {});
+}
+
+TEST(OptimizeCircuit, FusionCancellationChains) {
+  // RY(0.5) RY(-0.5) fuse to RY(0) which is then dropped.
+  Circuit c(1);
+  c.add_fixed_rotation(gates::Axis::kY, 0, 0.5);
+  c.add_fixed_rotation(gates::Axis::kY, 0, -0.5);
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_operations(), 0u);
+}
+
+TEST(OptimizeCircuit, CancelsSelfInversePairs) {
+  Circuit c(2);
+  c.add_hadamard(0);
+  c.add_hadamard(0);
+  c.add_pauli_x(1);
+  c.add_pauli_x(1);
+  c.add_cz(0, 1);
+  c.add_cz(1, 0);  // symmetric: still a cancelling pair
+  OptimizeStats stats;
+  const Circuit opt = optimize_circuit(c, &stats);
+  EXPECT_EQ(opt.num_operations(), 0u);
+  EXPECT_EQ(stats.cancelled_pairs, 3u);
+}
+
+TEST(OptimizeCircuit, DoesNotCancelAcrossBlockingOps) {
+  Circuit c(1);
+  c.add_hadamard(0);
+  c.add_t(0);  // blocks the H..H pair
+  c.add_hadamard(0);
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_operations(), 3u);
+}
+
+TEST(OptimizeCircuit, DoesNotCancelCnotWithSwappedRoles) {
+  Circuit c(2);
+  c.add_cnot(0, 1);
+  c.add_cnot(1, 0);  // different gate!
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_operations(), 2u);
+  expect_equivalent(c, opt, {});
+}
+
+TEST(OptimizeCircuit, TwoQubitPairBlockedByMiddleGate) {
+  Circuit c(2);
+  c.add_cz(0, 1);
+  c.add_hadamard(0);  // touches qubit 0 between the CZs
+  c.add_cz(0, 1);
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_operations(), 3u);
+}
+
+TEST(OptimizeCircuit, PreservesTrainableParameters) {
+  Circuit c(2);
+  c.add_hadamard(0);
+  c.add_hadamard(0);
+  (void)c.add_rotation(gates::Axis::kX, 0);
+  c.add_fixed_rotation(gates::Axis::kZ, 1, 0.0);
+  (void)c.add_rotation(gates::Axis::kY, 1);
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_parameters(), 2u);
+  EXPECT_EQ(opt.num_operations(), 2u);
+  const std::vector<double> params{0.7, -0.2};
+  expect_equivalent(c, opt, params);
+}
+
+TEST(OptimizeCircuit, NeverFusesTrainableRotations) {
+  Circuit c(1);
+  (void)c.add_rotation(gates::Axis::kX, 0);
+  (void)c.add_rotation(gates::Axis::kX, 0);
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_EQ(opt.num_operations(), 2u);
+  EXPECT_EQ(opt.num_parameters(), 2u);
+}
+
+TEST(OptimizeCircuit, ShrinksPauliRotationUncompute) {
+  // Two consecutive identical ZZ rotations leave cancelling CNOT pairs at
+  // the seam; the optimizer removes them.
+  Circuit c(2);
+  (void)add_pauli_rotation(c, "ZZ");
+  (void)add_pauli_rotation(c, "ZZ");
+  OptimizeStats stats;
+  const Circuit opt = optimize_circuit(c, &stats);
+  EXPECT_LT(opt.num_operations(), c.num_operations());
+  EXPECT_GE(stats.cancelled_pairs, 1u);
+  const std::vector<double> params{0.3, 1.1};
+  expect_equivalent(c, opt, params);
+}
+
+TEST(OptimizeCircuit, KeepsLayerShape) {
+  TrainingAnsatzOptions options;
+  options.layers = 2;
+  const Circuit c = training_ansatz(2, options);
+  const Circuit opt = optimize_circuit(c);
+  ASSERT_TRUE(opt.layer_shape().has_value());
+  EXPECT_EQ(opt.layer_shape()->layers, 2u);
+}
+
+// Property: optimization preserves the unitary of random mixed circuits.
+class OptimizeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeEquivalence, UnitaryPreserved) {
+  Rng rng(GetParam());
+  const std::size_t n = 3;
+  Circuit c(n);
+  std::vector<double> params;
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t q = rng.index(n);
+    switch (rng.index(6)) {
+      case 0:
+        c.add_hadamard(q);
+        break;
+      case 1:
+        c.add_fixed_rotation(static_cast<gates::Axis>(rng.index(3)), q,
+                             rng.bernoulli(0.3) ? 0.0
+                                                : rng.uniform(-2.0, 2.0));
+        break;
+      case 2:
+        (void)c.add_rotation(static_cast<gates::Axis>(rng.index(3)), q);
+        params.push_back(rng.uniform(0.0, 6.0));
+        break;
+      case 3: {
+        const std::size_t p = (q + 1) % n;
+        c.add_cz(q, p);
+        break;
+      }
+      case 4: {
+        const std::size_t p = (q + 1) % n;
+        c.add_cnot(q, p);
+        break;
+      }
+      case 5:
+        c.add_pauli_x(q);
+        break;
+    }
+  }
+  const Circuit opt = optimize_circuit(c);
+  EXPECT_LE(opt.num_operations(), c.num_operations());
+  EXPECT_EQ(opt.num_parameters(), c.num_parameters());
+  const ComplexMatrix ua = c.unitary(params);
+  const ComplexMatrix ub = opt.unitary(params);
+  EXPECT_LT(max_abs_diff(ua, ub), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,158 @@
+// Unit and property tests for Householder QR and random orthogonal
+// matrices (substrate of the Orthogonal initializer).
+#include "qbarren/linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/common/rng.hpp"
+#include "qbarren/common/stats.hpp"
+#include "qbarren/linalg/checks.hpp"
+
+namespace qbarren {
+namespace {
+
+RealMatrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  RealMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.normal();
+    }
+  }
+  return m;
+}
+
+TEST(Qr, ReconstructsSquareMatrix) {
+  Rng rng(1);
+  const RealMatrix a = random_matrix(4, 4, rng);
+  const QrResult qr = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(qr.q * qr.r, a), 1e-10);
+  EXPECT_TRUE(has_orthonormal_columns(qr.q, 1e-10));
+}
+
+TEST(Qr, ReconstructsTallMatrix) {
+  Rng rng(2);
+  const RealMatrix a = random_matrix(7, 3, rng);
+  const QrResult qr = qr_decompose(a);
+  EXPECT_EQ(qr.q.rows(), 7u);
+  EXPECT_EQ(qr.q.cols(), 3u);
+  EXPECT_EQ(qr.r.rows(), 3u);
+  EXPECT_EQ(qr.r.cols(), 3u);
+  EXPECT_LT(max_abs_diff(qr.q * qr.r, a), 1e-10);
+  EXPECT_TRUE(has_orthonormal_columns(qr.q, 1e-10));
+}
+
+TEST(Qr, ReconstructsWideMatrix) {
+  Rng rng(3);
+  const RealMatrix a = random_matrix(3, 6, rng);
+  const QrResult qr = qr_decompose(a);
+  EXPECT_EQ(qr.q.rows(), 3u);
+  EXPECT_EQ(qr.q.cols(), 3u);
+  EXPECT_EQ(qr.r.rows(), 3u);
+  EXPECT_EQ(qr.r.cols(), 6u);
+  EXPECT_LT(max_abs_diff(qr.q * qr.r, a), 1e-10);
+}
+
+TEST(Qr, RIsUpperTriangularWithNonNegativeDiagonal) {
+  Rng rng(4);
+  const RealMatrix a = random_matrix(5, 5, rng);
+  const QrResult qr = qr_decompose(a);
+  for (std::size_t r = 0; r < qr.r.rows(); ++r) {
+    EXPECT_GE(qr.r(r, r), 0.0);
+    for (std::size_t c = 0; c < r; ++c) {
+      EXPECT_DOUBLE_EQ(qr.r(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Qr, IdentityFactorsTrivially) {
+  const RealMatrix id = RealMatrix::identity(3);
+  const QrResult qr = qr_decompose(id);
+  EXPECT_LT(max_abs_diff(qr.q, id), 1e-12);
+  EXPECT_LT(max_abs_diff(qr.r, id), 1e-12);
+}
+
+TEST(Qr, HandlesZeroColumn) {
+  RealMatrix a(3, 2);
+  a(0, 1) = 1.0;  // first column all zero
+  const QrResult qr = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(qr.q * qr.r, a), 1e-12);
+}
+
+TEST(Qr, OneByOne) {
+  const RealMatrix a(1, 1, {-3.0});
+  const QrResult qr = qr_decompose(a);
+  // Sign convention: R diagonal non-negative.
+  EXPECT_DOUBLE_EQ(qr.r(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(qr.q(0, 0), -1.0);
+}
+
+TEST(RandomOrthogonal, ColumnsAreOrthonormal) {
+  Rng rng(5);
+  const RealMatrix q = random_orthogonal(8, 4, rng);
+  EXPECT_TRUE(has_orthonormal_columns(q, 1e-10));
+}
+
+TEST(RandomOrthogonal, SquareIsFullyOrthogonal) {
+  Rng rng(6);
+  const RealMatrix q = random_orthogonal(5, 5, rng);
+  EXPECT_TRUE(has_orthonormal_columns(q, 1e-10));
+  EXPECT_TRUE(has_orthonormal_columns(q.transpose(), 1e-10));
+}
+
+TEST(RandomOrthogonal, RejectsWideRequest) {
+  Rng rng(7);
+  EXPECT_THROW((void)random_orthogonal(2, 5, rng), InvalidArgument);
+}
+
+TEST(RandomOrthogonal, IsDeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  const RealMatrix qa = random_orthogonal(4, 4, a);
+  const RealMatrix qb = random_orthogonal(4, 4, b);
+  EXPECT_DOUBLE_EQ(max_abs_diff(qa, qb), 0.0);
+}
+
+TEST(RandomOrthogonal, EntryVarianceMatchesHaar) {
+  // For a Haar orthogonal matrix with n rows, entries have variance 1/n.
+  Rng rng(10);
+  const std::size_t n = 16;
+  std::vector<double> entries;
+  for (int trial = 0; trial < 60; ++trial) {
+    const RealMatrix q = random_orthogonal(n, n, rng);
+    for (const double v : q.data()) {
+      entries.push_back(v);
+    }
+  }
+  EXPECT_NEAR(mean(entries), 0.0, 0.01);
+  EXPECT_NEAR(sample_variance(entries), 1.0 / static_cast<double>(n),
+              0.01);
+}
+
+// Property sweep over shapes: reconstruction and orthogonality hold for
+// every shape the Orthogonal initializer can request.
+class QrShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(QrShapes, ReconstructionAndOrthogonality) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(splitmix64(rows * 131 + cols));
+  const RealMatrix a = random_matrix(rows, cols, rng);
+  const QrResult qr = qr_decompose(a);
+  EXPECT_LT(max_abs_diff(qr.q * qr.r, a), 1e-9);
+  EXPECT_TRUE(has_orthonormal_columns(qr.q, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapes,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(2, 2),
+                      std::make_pair<std::size_t, std::size_t>(10, 10),
+                      std::make_pair<std::size_t, std::size_t>(20, 4),
+                      std::make_pair<std::size_t, std::size_t>(4, 20),
+                      std::make_pair<std::size_t, std::size_t>(100, 10),
+                      std::make_pair<std::size_t, std::size_t>(33, 7)));
+
+}  // namespace
+}  // namespace qbarren

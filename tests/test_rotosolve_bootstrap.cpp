@@ -1,0 +1,213 @@
+// Tests for Rotosolve and the bootstrap / positional variance extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/init/registry.hpp"
+#include "qbarren/opt/rotosolve.hpp"
+
+namespace qbarren {
+namespace {
+
+// --- Rotosolve ---------------------------------------------------------------
+
+CostFunction small_cost(std::size_t qubits, std::size_t layers) {
+  TrainingAnsatzOptions options;
+  options.layers = layers;
+  auto circuit =
+      std::make_shared<const Circuit>(training_ansatz(qubits, options));
+  return make_identity_cost(circuit);
+}
+
+TEST(Rotosolve, SingleParameterFindsExactMinimum) {
+  // C(theta) = sin^2(theta/2): minimum 0 at theta = 0 (mod 4 pi). One
+  // sweep must land exactly on a minimum.
+  auto circuit = std::make_shared<Circuit>(1);
+  (void)circuit->add_rotation(gates::Axis::kY, 0);
+  const CostFunction cost =
+      make_identity_cost(std::shared_ptr<const Circuit>(circuit));
+  RotosolveOptions options;
+  options.max_sweeps = 1;
+  const TrainResult result =
+      train_rotosolve(cost, std::vector<double>{2.1}, options);
+  EXPECT_NEAR(result.final_loss, 0.0, 1e-12);
+}
+
+TEST(Rotosolve, MonotonicallyNonIncreasingPerSweep) {
+  const CostFunction cost = small_cost(3, 2);
+  RotosolveOptions options;
+  options.max_sweeps = 6;
+  const std::vector<double> init(cost.num_parameters(), 0.7);
+  const TrainResult result = train_rotosolve(cost, init, options);
+  for (std::size_t i = 1; i < result.loss_history.size(); ++i) {
+    EXPECT_LE(result.loss_history[i], result.loss_history[i - 1] + 1e-12);
+  }
+  EXPECT_LT(result.final_loss, 0.05);
+}
+
+TEST(Rotosolve, ConvergesWithoutLearningRate) {
+  const CostFunction cost = small_cost(4, 2);
+  RotosolveOptions options;
+  options.max_sweeps = 8;
+  const std::vector<double> init(cost.num_parameters(), 0.5);
+  const TrainResult result = train_rotosolve(cost, init, options);
+  EXPECT_LT(result.final_loss, 1e-3);
+}
+
+TEST(Rotosolve, EarlyStopOnSmallImprovement) {
+  const CostFunction cost = small_cost(2, 1);
+  RotosolveOptions options;
+  options.max_sweeps = 50;
+  options.min_improvement = 1e-6;
+  const std::vector<double> init(cost.num_parameters(), 0.3);
+  const TrainResult result = train_rotosolve(cost, init, options);
+  EXPECT_LT(result.iterations, 50u);
+}
+
+TEST(Rotosolve, Validation) {
+  const CostFunction cost = small_cost(2, 1);
+  EXPECT_THROW((void)train_rotosolve(cost, {0.1}), InvalidArgument);
+  RotosolveOptions bad;
+  bad.min_improvement = -1.0;
+  const std::vector<double> init(cost.num_parameters(), 0.1);
+  EXPECT_THROW((void)train_rotosolve(cost, init, bad), InvalidArgument);
+}
+
+TEST(Rotosolve, EscapesPlateauWhereGdStalls) {
+  // Rotosolve jumps to each parameter's conditional optimum regardless of
+  // gradient magnitude, so a randomly initialized circuit that pins GD
+  // still trains.
+  const CostFunction cost = small_cost(6, 3);
+  const auto random = make_initializer("random");
+  Rng rng(7);
+  const auto init = random->initialize(cost.circuit(), rng);
+
+  RotosolveOptions options;
+  options.max_sweeps = 5;
+  const TrainResult result = train_rotosolve(cost, init, options);
+  EXPECT_GT(result.initial_loss, 0.7);
+  EXPECT_LT(result.final_loss, 0.1);
+}
+
+// --- bootstrap CI --------------------------------------------------------------
+
+VarianceResult run_with_samples() {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2, 4, 6};
+  options.circuits_per_point = 40;
+  options.layers = 15;
+  options.keep_samples = true;
+  const auto random = make_initializer("random");
+  return VarianceExperiment(options).run({random.get()});
+}
+
+TEST(BootstrapCi, BracketsPointEstimate) {
+  const VarianceResult result = run_with_samples();
+  const SlopeConfidenceInterval ci =
+      bootstrap_decay_ci(result.series[0], 200, 0.95, 5);
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_GE(ci.point, ci.lower - 0.5);
+  EXPECT_LE(ci.point, ci.upper + 0.5);
+  // The BP slope is decisively negative: the whole interval is below 0.
+  EXPECT_LT(ci.upper, 0.0);
+}
+
+TEST(BootstrapCi, HigherConfidenceWidensInterval) {
+  const VarianceResult result = run_with_samples();
+  const SlopeConfidenceInterval narrow =
+      bootstrap_decay_ci(result.series[0], 300, 0.5, 5);
+  const SlopeConfidenceInterval wide =
+      bootstrap_decay_ci(result.series[0], 300, 0.99, 5);
+  EXPECT_GT(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+TEST(BootstrapCi, RequiresRetainedSamples) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2, 3};
+  options.circuits_per_point = 10;
+  options.layers = 5;
+  const auto random = make_initializer("random");
+  const VarianceResult result =
+      VarianceExperiment(options).run({random.get()});
+  EXPECT_THROW((void)bootstrap_decay_ci(result.series[0]), InvalidArgument);
+}
+
+TEST(BootstrapCi, ParameterValidation) {
+  const VarianceResult result = run_with_samples();
+  EXPECT_THROW((void)bootstrap_decay_ci(result.series[0], 5),
+               InvalidArgument);
+  EXPECT_THROW((void)bootstrap_decay_ci(result.series[0], 100, 1.0),
+               InvalidArgument);
+  EXPECT_THROW((void)bootstrap_decay_ci(result.series[0], 100, 0.0),
+               InvalidArgument);
+}
+
+TEST(BootstrapCi, DeterministicGivenSeed) {
+  const VarianceResult result = run_with_samples();
+  const SlopeConfidenceInterval a =
+      bootstrap_decay_ci(result.series[0], 100, 0.9, 7);
+  const SlopeConfidenceInterval b =
+      bootstrap_decay_ci(result.series[0], 100, 0.9, 7);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+// --- positional variance --------------------------------------------------------
+
+TEST(PositionalVariance, ShapesAndValidation) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2, 3};
+  options.circuits_per_point = 10;
+  options.layers = 5;
+  const auto random = make_initializer("random");
+  const PositionalVarianceResult result =
+      positional_variance(options, *random, {0.0, 1.0});
+  ASSERT_EQ(result.fractions.size(), 2u);
+  ASSERT_EQ(result.variances.size(), 2u);
+  ASSERT_EQ(result.variances[0].size(), 2u);
+  for (const auto& row : result.variances) {
+    for (const double v : row) {
+      EXPECT_GT(v, 0.0);
+    }
+  }
+
+  EXPECT_THROW((void)positional_variance(options, *random, {}),
+               InvalidArgument);
+  EXPECT_THROW((void)positional_variance(options, *random, {1.5}),
+               InvalidArgument);
+}
+
+TEST(PositionalVariance, GlobalCostIsPositionInsensitiveAtDepth) {
+  // For the global cost in the 2-design regime, McClean et al.'s variance
+  // is position-independent to leading order: first and last parameter
+  // variances agree within a small factor.
+  VarianceExperimentOptions options;
+  options.qubit_counts = {5};
+  options.circuits_per_point = 80;
+  options.layers = 25;
+  const auto random = make_initializer("random");
+  const PositionalVarianceResult result =
+      positional_variance(options, *random, {0.0, 1.0});
+  const double first = result.variances[0][0];
+  const double last = result.variances[1][0];
+  EXPECT_LT(first / last, 5.0);
+  EXPECT_GT(first / last, 0.2);
+}
+
+TEST(PositionalVariance, TableShape) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2};
+  options.circuits_per_point = 8;
+  options.layers = 4;
+  const auto random = make_initializer("random");
+  const PositionalVarianceResult result =
+      positional_variance(options, *random, {0.0, 0.5, 1.0});
+  const Table table = result.table();
+  EXPECT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,144 @@
+// Tests for the training-loop driver.
+#include "qbarren/opt/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbarren/circuit/ansatz.hpp"
+
+namespace qbarren {
+namespace {
+
+CostFunction small_cost(std::size_t qubits = 2, std::size_t layers = 2) {
+  TrainingAnsatzOptions options;
+  options.layers = layers;
+  auto circuit =
+      std::make_shared<const Circuit>(training_ansatz(qubits, options));
+  return make_identity_cost(circuit);
+}
+
+TEST(Trainer, ValidatesInitialParamCount) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.1);
+  EXPECT_THROW((void)train(cost, engine, opt, std::vector<double>{1.0}),
+               InvalidArgument);
+}
+
+TEST(Trainer, HistoriesHaveDocumentedSizes) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.1);
+  TrainOptions options;
+  options.max_iterations = 7;
+  const std::vector<double> init(cost.num_parameters(), 0.3);
+  const TrainResult result = train(cost, engine, opt, init, options);
+  EXPECT_EQ(result.iterations, 7u);
+  EXPECT_EQ(result.loss_history.size(), 8u);
+  EXPECT_EQ(result.gradient_norm_history.size(), 7u);
+  EXPECT_EQ(result.final_params.size(), cost.num_parameters());
+  EXPECT_DOUBLE_EQ(result.loss_history.front(), result.initial_loss);
+  EXPECT_DOUBLE_EQ(result.loss_history.back(), result.final_loss);
+}
+
+TEST(Trainer, GradientNormsOptional) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.1);
+  TrainOptions options;
+  options.max_iterations = 3;
+  options.record_gradient_norms = false;
+  const std::vector<double> init(cost.num_parameters(), 0.3);
+  const TrainResult result = train(cost, engine, opt, init, options);
+  EXPECT_TRUE(result.gradient_norm_history.empty());
+}
+
+TEST(Trainer, LossDecreasesOnEasyProblem) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.2);
+  TrainOptions options;
+  options.max_iterations = 60;
+  const std::vector<double> init(cost.num_parameters(), 0.4);
+  const TrainResult result = train(cost, engine, opt, init, options);
+  EXPECT_GT(result.initial_loss, 0.05);
+  EXPECT_LT(result.final_loss, 0.01);
+  EXPECT_LT(result.final_loss, result.initial_loss);
+}
+
+TEST(Trainer, TargetLossStopsEarly) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.2);
+  TrainOptions options;
+  options.max_iterations = 200;
+  options.target_loss = 0.05;
+  const std::vector<double> init(cost.num_parameters(), 0.4);
+  const TrainResult result = train(cost, engine, opt, init, options);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_LT(result.iterations, 200u);
+  EXPECT_LE(result.final_loss, 0.05);
+}
+
+TEST(Trainer, AlreadyBelowTargetTakesNoSteps) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.1);
+  TrainOptions options;
+  options.max_iterations = 10;
+  options.target_loss = 0.5;
+  // Zero parameters: the circuit is the identity, loss 0 < target.
+  const std::vector<double> zeros(cost.num_parameters(), 0.0);
+  const TrainResult result = train(cost, engine, opt, zeros, options);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.loss_history.size(), 1u);
+}
+
+TEST(Trainer, ZeroIterationsIsANoOp) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  GradientDescent opt(0.1);
+  TrainOptions options;
+  options.max_iterations = 0;
+  const std::vector<double> init(cost.num_parameters(), 0.2);
+  const TrainResult result = train(cost, engine, opt, init, options);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.final_params, init);
+  EXPECT_DOUBLE_EQ(result.initial_loss, result.final_loss);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const CostFunction cost = small_cost();
+  const AdjointEngine engine;
+  TrainOptions options;
+  options.max_iterations = 10;
+  const std::vector<double> init(cost.num_parameters(), 0.25);
+
+  AdamOptimizer opt1(0.1);
+  AdamOptimizer opt2(0.1);
+  const TrainResult a = train(cost, engine, opt1, init, options);
+  const TrainResult b = train(cost, engine, opt2, init, options);
+  EXPECT_EQ(a.loss_history, b.loss_history);
+  EXPECT_EQ(a.final_params, b.final_params);
+}
+
+TEST(Trainer, ParameterShiftAndAdjointTrainIdentically) {
+  const CostFunction cost = small_cost(2, 1);
+  TrainOptions options;
+  options.max_iterations = 8;
+  const std::vector<double> init(cost.num_parameters(), 0.3);
+
+  const AdjointEngine adjoint;
+  const ParameterShiftEngine shift;
+  GradientDescent opt1(0.1);
+  GradientDescent opt2(0.1);
+  const TrainResult a = train(cost, adjoint, opt1, init, options);
+  const TrainResult b = train(cost, shift, opt2, init, options);
+  ASSERT_EQ(a.loss_history.size(), b.loss_history.size());
+  for (std::size_t i = 0; i < a.loss_history.size(); ++i) {
+    EXPECT_NEAR(a.loss_history[i], b.loss_history[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qbarren

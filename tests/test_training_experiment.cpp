@@ -1,0 +1,158 @@
+// Tests for the training experiment (paper Fig 5b/5c) at reduced scale.
+#include "qbarren/bp/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qbarren/init/registry.hpp"
+
+namespace qbarren {
+namespace {
+
+TrainingExperimentOptions small_options() {
+  TrainingExperimentOptions options;
+  options.qubits = 6;
+  options.layers = 3;
+  options.iterations = 25;
+  options.learning_rate = 0.1;
+  options.seed = 7;
+  return options;
+}
+
+TEST(TrainingExperiment, ValidatesOptions) {
+  TrainingExperimentOptions bad = small_options();
+  bad.qubits = 0;
+  EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+  bad = small_options();
+  bad.layers = 0;
+  EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+  bad = small_options();
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+}
+
+TEST(TrainingExperiment, RejectsEmptyOrNullInitializers) {
+  const TrainingExperiment experiment(small_options());
+  EXPECT_THROW((void)experiment.run({}), InvalidArgument);
+  EXPECT_THROW((void)experiment.run({nullptr}), InvalidArgument);
+}
+
+TEST(TrainingExperiment, SeriesShapesMatchOptions) {
+  const TrainingExperiment experiment(small_options());
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result =
+      experiment.run({random.get(), xavier.get()});
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const TrainingSeries& s : result.series) {
+    EXPECT_EQ(s.result.loss_history.size(), 26u);
+    EXPECT_EQ(s.result.iterations, 25u);
+  }
+}
+
+TEST(TrainingExperiment, RandomStallsXavierConverges) {
+  // The paper's headline training contrast, at 6 qubits with GD: random
+  // initialization sits on the plateau while Xavier trains.
+  const TrainingExperiment experiment(small_options());
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result =
+      experiment.run({random.get(), xavier.get()});
+
+  const TrainResult& r = result.find("random").result;
+  const TrainResult& x = result.find("xavier-normal").result;
+  // Random barely moves from its initial loss...
+  EXPECT_LT(r.initial_loss - r.final_loss, 0.2);
+  // ...while Xavier reduces the loss substantially.
+  EXPECT_GT(x.initial_loss - x.final_loss, 0.5);
+  EXPECT_LT(x.final_loss, 0.15);
+}
+
+TEST(TrainingExperiment, AdamRescuesRandomButSlower) {
+  TrainingExperimentOptions options = small_options();
+  options.optimizer = "adam";
+  options.iterations = 40;
+  const TrainingExperiment experiment(options);
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result =
+      experiment.run({random.get(), xavier.get()});
+  const auto& r = result.find("random").result;
+  const auto& x = result.find("xavier-normal").result;
+  EXPECT_LT(r.final_loss, 0.5);  // Adam escapes the plateau eventually
+  // Xavier is ahead of random at the mid-point of training.
+  EXPECT_LT(x.loss_history[10], r.loss_history[10]);
+}
+
+TEST(TrainingExperiment, DeterministicGivenSeed) {
+  const TrainingExperiment experiment(small_options());
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult a = experiment.run({xavier.get()});
+  const TrainingResult b = experiment.run({xavier.get()});
+  EXPECT_EQ(a.series[0].result.loss_history,
+            b.series[0].result.loss_history);
+}
+
+TEST(TrainingExperiment, FindThrowsOnUnknown) {
+  const TrainingExperiment experiment(small_options());
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result = experiment.run({xavier.get()});
+  EXPECT_THROW((void)result.find("random"), NotFound);
+}
+
+TEST(TrainingResult, LossTableShapes) {
+  TrainingExperimentOptions options = small_options();
+  options.iterations = 10;
+  const TrainingExperiment experiment(options);
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result = experiment.run({xavier.get()});
+
+  const Table full = result.loss_table(1);
+  EXPECT_EQ(full.rows(), 11u);  // iterations + 1
+  EXPECT_EQ(full.columns(), 2u);
+
+  // Stride 4 over 0..10: rows 0,4,8 plus the forced final row 10.
+  const Table strided = result.loss_table(4);
+  EXPECT_EQ(strided.rows(), 4u);
+  EXPECT_EQ(strided.data().back()[0], "10");
+
+  EXPECT_THROW((void)result.loss_table(0), InvalidArgument);
+}
+
+TEST(TrainingResult, SummaryTableShapes) {
+  const TrainingExperiment experiment(small_options());
+  const TrainingResult result = experiment.run_paper_set();
+  const Table summary = result.summary_table();
+  EXPECT_EQ(summary.rows(), 6u);
+  EXPECT_EQ(summary.columns(), 5u);
+}
+
+TEST(TrainingExperiment, ParameterShiftEngineGivesSameTraining) {
+  TrainingExperimentOptions options = small_options();
+  options.qubits = 3;
+  options.layers = 2;
+  options.iterations = 6;
+  const auto xavier = make_initializer("xavier-normal");
+
+  options.gradient_engine = "adjoint";
+  const TrainingResult a = TrainingExperiment(options).run({xavier.get()});
+  options.gradient_engine = "parameter-shift";
+  const TrainingResult b = TrainingExperiment(options).run({xavier.get()});
+  for (std::size_t i = 0; i < a.series[0].result.loss_history.size(); ++i) {
+    EXPECT_NEAR(a.series[0].result.loss_history[i],
+                b.series[0].result.loss_history[i], 1e-9);
+  }
+}
+
+TEST(TrainingExperiment, LocalCostAlsoTrains) {
+  TrainingExperimentOptions options = small_options();
+  options.cost = CostKind::kLocalZero;
+  options.iterations = 20;
+  const auto xavier = make_initializer("xavier-normal");
+  const TrainingResult result =
+      TrainingExperiment(options).run({xavier.get()});
+  const auto& r = result.series[0].result;
+  EXPECT_LT(r.final_loss, r.initial_loss);
+}
+
+}  // namespace
+}  // namespace qbarren
