@@ -4,14 +4,24 @@
 //   qbarren_cli variance   [--qubits 2,4,6,8,10] [--circuits 200]
 //                          [--layers 50] [--seed 42] [--json out.json]
 //   qbarren_cli train      [--optimizer adam] [--qubits 10] [--layers 5]
-//                          [--iterations 50] [--json out.json]
+//                          [--iterations 50] [--deadline-sec 3600]
+//                          [--nonfinite throw|abort|fallback]
+//                          [--json out.json]
 //   qbarren_cli sweep      [--repetitions 5] [--optimizer adam] ...
 //   qbarren_cli landscape  [--qubits 2,5,10] [--layers 100] [--grid 21]
 //   qbarren_cli express    [--qubits 4] [--layers 5] [--pairs 300]
 //   qbarren_cli lightcone  [--qubits 6] [--layers 10]
+//
+// Long runs (variance / train / sweep) accept --checkpoint <file>: every
+// completed cell is flushed atomically, Ctrl-C (SIGINT/SIGTERM) stops the
+// run cooperatively after the cell in flight, and --resume restores the
+// completed cells and finishes the rest, reproducing an uninterrupted run
+// bit-for-bit. A checkpoint written under different options is rejected.
 // Run with no arguments for this help text.
 #include <cstdio>
 #include <exception>
+#include <limits>
+#include <optional>
 
 #include "qbarren/bp/expressibility.hpp"
 #include "qbarren/bp/landscape.hpp"
@@ -19,7 +29,9 @@
 #include "qbarren/bp/serialize.hpp"
 #include "qbarren/bp/training.hpp"
 #include "qbarren/bp/variance.hpp"
+#include "qbarren/common/checkpoint.hpp"
 #include "qbarren/common/cli.hpp"
+#include "qbarren/common/run.hpp"
 #include "qbarren/common/version.hpp"
 #include "qbarren/init/registry.hpp"
 
@@ -36,6 +48,40 @@ std::vector<const Initializer*> borrow(
   return ptrs;
 }
 
+/// Resilient-run plumbing shared by the long-running subcommands:
+/// Ctrl-C cancellation, optional --checkpoint/--resume store, progress
+/// lines on stderr.
+struct ResilientRun {
+  CancellationToken token;
+  std::optional<Checkpoint> checkpoint;
+  std::optional<ScopedSignalCancellation> signal_guard;
+  RunControl control;
+
+  ResilientRun(const CliArgs& args, const std::string& fingerprint) {
+    if (args.has("checkpoint")) {
+      const std::string path = args.get_string("checkpoint", "");
+      QBARREN_REQUIRE(!path.empty(), "--checkpoint needs a file path");
+      const bool resume = args.get_bool("resume", false);
+      checkpoint.emplace(Checkpoint::open(path, fingerprint, resume));
+      if (resume && checkpoint->cell_count() > 0) {
+        std::fprintf(stderr, "resuming from %s (%zu completed cells)\n",
+                     path.c_str(), checkpoint->cell_count());
+      }
+      control.checkpoint = &*checkpoint;
+    } else {
+      QBARREN_REQUIRE(!args.has("resume"),
+                      "--resume requires --checkpoint <file>");
+    }
+    control.cancel = &token;
+    signal_guard.emplace(token);
+    control.progress = [](const RunProgress& p) {
+      std::fprintf(stderr, "[%zu/%zu] %s%s\n", p.completed, p.total,
+                   p.cell.c_str(),
+                   p.from_checkpoint ? " (from checkpoint)" : "");
+    };
+  }
+};
+
 int cmd_variance(const CliArgs& args) {
   VarianceExperimentOptions options;
   options.qubit_counts.clear();
@@ -48,8 +94,10 @@ int cmd_variance(const CliArgs& args) {
   options.seed = args.get_uint("seed", 42);
   options.cost = cost_kind_from_name(args.get_string("cost", "global"));
 
+  ResilientRun resilient(args, options_fingerprint(options));
   const VarianceResult result =
-      VarianceExperiment(options).run_paper_set();
+      VarianceExperiment(options).run_paper_set(FanMode::kLayerTensor,
+                                                resilient.control);
   std::printf("%s\n%s", result.variance_table().to_ascii().c_str(),
               result.decay_table().to_ascii().c_str());
   if (args.has("json")) {
@@ -69,13 +117,27 @@ TrainingExperimentOptions training_options_from(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("iterations", 50));
   options.learning_rate = args.get_double("lr", 0.1);
   options.seed = args.get_uint("seed", 7);
+  options.deadline_seconds = args.get_double(
+      "deadline-sec", std::numeric_limits<double>::infinity());
+  const std::string policy = args.get_string("nonfinite", "throw");
+  if (policy == "throw") {
+    options.non_finite_policy = NonFinitePolicy::kThrow;
+  } else if (policy == "abort") {
+    options.non_finite_policy = NonFinitePolicy::kAbortSeries;
+  } else if (policy == "fallback") {
+    options.non_finite_policy = NonFinitePolicy::kFallbackEngine;
+  } else {
+    throw InvalidArgument("--nonfinite must be throw, abort, or fallback");
+  }
   return options;
 }
 
 int cmd_train(const CliArgs& args) {
   const TrainingExperimentOptions options = training_options_from(args);
+  ResilientRun resilient(args, options_fingerprint(options));
   const TrainingResult result =
-      TrainingExperiment(options).run_paper_set();
+      TrainingExperiment(options).run_paper_set(FanMode::kLayerTensor,
+                                                resilient.control);
   std::printf("%s\n%s", result.loss_table(5).to_ascii().c_str(),
               result.summary_table().to_ascii().c_str());
   if (args.has("json")) {
@@ -91,9 +153,10 @@ int cmd_sweep(const CliArgs& args) {
   options.base = training_options_from(args);
   options.repetitions =
       static_cast<std::size_t>(args.get_int("repetitions", 5));
+  ResilientRun resilient(args, options_fingerprint(options));
   const auto owned = paper_initializers();
   const TrainingSweepResult result =
-      run_training_sweep(borrow(owned), options);
+      run_training_sweep(borrow(owned), options, resilient.control);
   std::printf("%s", result.summary_table().to_ascii().c_str());
   return 0;
 }
@@ -156,6 +219,8 @@ void print_help() {
       "qbarren %s — barren-plateau experiments\n"
       "subcommands: variance | train | sweep | landscape | express | "
       "lightcone\n"
+      "long runs accept --checkpoint <file> [--resume]; train/sweep also\n"
+      "accept --deadline-sec <s> and --nonfinite throw|abort|fallback.\n"
       "see the header of examples/qbarren_cli.cpp for per-command "
       "options.\n",
       kVersionString);
@@ -181,6 +246,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
                  command.c_str());
     return 1;
+  } catch (const qbarren::Cancelled& e) {
+    // Completed checkpoint cells were flushed before this propagated;
+    // rerun with --resume to finish. 130 matches the shell convention
+    // for SIGINT termination.
+    std::fprintf(stderr,
+                 "interrupted: %s\n"
+                 "rerun with the same options plus --resume to continue\n",
+                 e.what());
+    return 130;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

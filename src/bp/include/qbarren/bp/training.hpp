@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qbarren/bp/cost_kind.hpp"
+#include "qbarren/common/run.hpp"
 #include "qbarren/common/stats.hpp"
 #include "qbarren/common/table.hpp"
 #include "qbarren/init/initializers.hpp"
@@ -30,7 +31,19 @@ struct TrainingExperimentOptions {
   std::string gradient_engine = "adjoint";
   CostKind cost = CostKind::kGlobalZero;
   std::uint64_t seed = 7;
+  /// Non-finite loss/gradient handling for each series (see trainer.hpp).
+  /// Under kFallbackEngine the experiment supplies a parameter-shift
+  /// fallback automatically.
+  NonFinitePolicy non_finite_policy = NonFinitePolicy::kThrow;
+  /// Wall-clock budget per training series, in seconds (default
+  /// unbounded); forwarded to TrainOptions::deadline_seconds.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
 };
+
+/// Canonical single-line encoding of every option that shapes the
+/// experiment's results (checkpoint staleness key).
+[[nodiscard]] std::string options_fingerprint(
+    const TrainingExperimentOptions& options);
 
 struct TrainingSeries {
   std::string initializer;
@@ -59,8 +72,20 @@ class TrainingExperiment {
   [[nodiscard]] TrainingResult run(
       const std::vector<const Initializer*>& initializers) const;
 
+  /// As above with resilient-run hooks: one checkpoint cell per
+  /// initializer ("init=<name>") holding the full TrainResult, restored
+  /// instead of retrained on resume; cancellation is polled between
+  /// series and between training iterations (completed cells are already
+  /// flushed when Cancelled propagates). A resumed run is bit-for-bit
+  /// identical to an uninterrupted one.
+  [[nodiscard]] TrainingResult run(
+      const std::vector<const Initializer*>& initializers,
+      const RunControl& control) const;
+
   [[nodiscard]] TrainingResult run_paper_set(
       FanMode mode = FanMode::kLayerTensor) const;
+  [[nodiscard]] TrainingResult run_paper_set(FanMode mode,
+                                             const RunControl& control) const;
 
   [[nodiscard]] const TrainingExperimentOptions& options() const noexcept {
     return options_;
@@ -95,9 +120,20 @@ struct TrainingSweepResult {
   [[nodiscard]] Table summary_table() const;
 };
 
+/// Fingerprint of a sweep (repetitions + the base experiment's options).
+[[nodiscard]] std::string options_fingerprint(
+    const TrainingSweepOptions& options);
+
 /// Runs the training experiment `repetitions` times with derived seeds.
 [[nodiscard]] TrainingSweepResult run_training_sweep(
     const std::vector<const Initializer*>& initializers,
     const TrainingSweepOptions& options);
+
+/// As above with resilient-run hooks: cells are namespaced per repetition
+/// ("rep=<r>/init=<name>"), so an interrupted sweep resumes at the exact
+/// (repetition, initializer) pair it stopped at.
+[[nodiscard]] TrainingSweepResult run_training_sweep(
+    const std::vector<const Initializer*>& initializers,
+    const TrainingSweepOptions& options, const RunControl& control);
 
 }  // namespace qbarren

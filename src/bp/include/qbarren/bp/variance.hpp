@@ -19,6 +19,7 @@
 
 #include "qbarren/bp/cost_kind.hpp"
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/run.hpp"
 #include "qbarren/common/stats.hpp"
 #include "qbarren/common/table.hpp"
 #include "qbarren/init/initializers.hpp"
@@ -62,6 +63,12 @@ struct VarianceExperimentOptions {
   /// bootstrap confidence intervals; off by default to keep results lean).
   bool keep_samples = false;
 };
+
+/// Canonical single-line encoding of every option that shapes the
+/// experiment's results. Checkpoints are keyed by this string, so a
+/// checkpoint written under different options is rejected on resume.
+[[nodiscard]] std::string options_fingerprint(
+    const VarianceExperimentOptions& options);
 
 /// One (qubit count, initializer) cell of the experiment.
 struct VariancePoint {
@@ -137,6 +144,18 @@ struct PositionalVarianceResult {
     const VarianceExperimentOptions& options, const Initializer& initializer,
     std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0});
 
+/// As above with resilient-run hooks: one checkpoint cell per qubit count,
+/// cancellation polled per sampled circuit.
+[[nodiscard]] PositionalVarianceResult positional_variance(
+    const VarianceExperimentOptions& options, const Initializer& initializer,
+    std::vector<double> fractions, const RunControl& control);
+
+/// Fingerprint of a positional-variance run (includes the initializer name
+/// and the fraction grid on top of the base options).
+[[nodiscard]] std::string positional_fingerprint(
+    const VarianceExperimentOptions& options, const Initializer& initializer,
+    const std::vector<double>& fractions);
+
 class VarianceExperiment {
  public:
   explicit VarianceExperiment(VarianceExperimentOptions options);
@@ -146,9 +165,21 @@ class VarianceExperiment {
   [[nodiscard]] VarianceResult run(
       const std::vector<const Initializer*>& initializers) const;
 
+  /// As above with resilient-run hooks: cells are checkpointed per
+  /// (qubit count, initializer) as "q=<q>/init=<name>", completed cells
+  /// are restored instead of recomputed on resume, and cancellation is
+  /// polled per sampled circuit (completed cells are already flushed when
+  /// Cancelled propagates). A resumed run is bit-for-bit identical to an
+  /// uninterrupted one.
+  [[nodiscard]] VarianceResult run(
+      const std::vector<const Initializer*>& initializers,
+      const RunControl& control) const;
+
   /// Runs with the paper's six strategies (§IV, set T).
   [[nodiscard]] VarianceResult run_paper_set(
       FanMode mode = FanMode::kLayerTensor) const;
+  [[nodiscard]] VarianceResult run_paper_set(FanMode mode,
+                                             const RunControl& control) const;
 
   [[nodiscard]] const VarianceExperimentOptions& options() const noexcept {
     return options_;

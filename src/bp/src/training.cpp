@@ -1,26 +1,112 @@
 #include "qbarren/bp/training.hpp"
 
+#include <cstdio>
+
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/checkpoint.hpp"
 #include "qbarren/init/registry.hpp"
 #include "qbarren/obs/cost.hpp"
 
 namespace qbarren {
 
+namespace {
+
+std::string hexfloat_string(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// Full TrainResult <-> checkpoint cell round trip. Doubles are stored as
+/// hexfloats by the checkpoint layer, so restoration is bit-exact.
+CheckpointCell cell_from_train_result(const TrainResult& result) {
+  CheckpointCell cell;
+  cell.vectors["loss_history"] = result.loss_history;
+  cell.vectors["gradient_norm_history"] = result.gradient_norm_history;
+  cell.vectors["final_params"] = result.final_params;
+  cell.scalars["initial_loss"] = result.initial_loss;
+  cell.scalars["final_loss"] = result.final_loss;
+  cell.scalars["iterations"] = static_cast<double>(result.iterations);
+  cell.scalars["reached_target"] = result.reached_target ? 1.0 : 0.0;
+  cell.scalars["aborted_non_finite"] =
+      result.aborted_non_finite ? 1.0 : 0.0;
+  cell.scalars["hit_deadline"] = result.hit_deadline ? 1.0 : 0.0;
+  cell.scalars["fallback_invocations"] =
+      static_cast<double>(result.fallback_invocations);
+  return cell;
+}
+
+TrainResult train_result_from_cell(const CheckpointCell& cell) {
+  TrainResult result;
+  result.loss_history = cell.vector("loss_history");
+  result.gradient_norm_history = cell.vector("gradient_norm_history");
+  result.final_params = cell.vector("final_params");
+  result.initial_loss = cell.scalar("initial_loss");
+  result.final_loss = cell.scalar("final_loss");
+  result.iterations = static_cast<std::size_t>(cell.scalar("iterations"));
+  result.reached_target = cell.scalar("reached_target") != 0.0;
+  result.aborted_non_finite = cell.scalar("aborted_non_finite") != 0.0;
+  result.hit_deadline = cell.scalar("hit_deadline") != 0.0;
+  result.fallback_invocations =
+      static_cast<std::size_t>(cell.scalar("fallback_invocations"));
+  return result;
+}
+
+}  // namespace
+
+std::string options_fingerprint(const TrainingExperimentOptions& options) {
+  std::string fp = "training/v1";
+  fp += ";qubits=" + std::to_string(options.qubits);
+  fp += ";layers=" + std::to_string(options.layers);
+  fp += ";iterations=" + std::to_string(options.iterations);
+  fp += ";lr=" + hexfloat_string(options.learning_rate);
+  fp += ";optimizer=" + options.optimizer;
+  fp += ";engine=" + options.gradient_engine;
+  fp += ";cost=" + cost_kind_name(options.cost);
+  fp += ";seed=" + std::to_string(options.seed);
+  fp += ";policy=" + std::to_string(static_cast<int>(options.non_finite_policy));
+  // deadline_seconds is deliberately excluded: it bounds wall-clock time
+  // but (when not hit) does not change what is computed, so a checkpoint
+  // stays resumable under a different budget.
+  return fp;
+}
+
 TrainingExperiment::TrainingExperiment(TrainingExperimentOptions options)
     : options_(std::move(options)) {
   QBARREN_REQUIRE(options_.qubits >= 1, "TrainingExperiment: need >= 1 qubit");
   QBARREN_REQUIRE(options_.layers >= 1, "TrainingExperiment: need >= 1 layer");
+  QBARREN_REQUIRE(options_.iterations >= 1,
+                  "TrainingExperiment: need >= 1 iteration");
   QBARREN_REQUIRE(options_.learning_rate > 0.0,
                   "TrainingExperiment: learning rate must be positive");
+  QBARREN_REQUIRE(!(options_.deadline_seconds < 0.0),
+                  "TrainingExperiment: deadline must be non-negative");
+  // Surface unknown optimizer/engine names at construction (NotFound)
+  // instead of after the caller has committed to a long run.
+  (void)make_optimizer(options_.optimizer, options_.learning_rate);
+  (void)make_gradient_engine(options_.gradient_engine);
 }
 
 TrainingResult TrainingExperiment::run(
     const std::vector<const Initializer*>& initializers) const {
+  return run(initializers, RunControl{});
+}
+
+TrainingResult TrainingExperiment::run(
+    const std::vector<const Initializer*>& initializers,
+    const RunControl& control) const {
   QBARREN_REQUIRE(!initializers.empty(),
                   "TrainingExperiment::run: no initializers");
   for (const Initializer* init : initializers) {
     QBARREN_REQUIRE(init != nullptr,
                     "TrainingExperiment::run: null initializer");
+  }
+  Checkpoint* checkpoint = control.checkpoint;
+  if (checkpoint != nullptr && control.cell_prefix.empty() &&
+      checkpoint->fingerprint() != options_fingerprint(options_)) {
+    throw CheckpointError(
+        "TrainingExperiment::run: checkpoint fingerprint does not match "
+        "this experiment's options");
   }
 
   TrainingAnsatzOptions ansatz_options;
@@ -30,38 +116,73 @@ TrainingResult TrainingExperiment::run(
   const CostFunction cost(circuit,
                           make_cost_observable(options_.cost, options_.qubits));
   const auto engine = make_gradient_engine(options_.gradient_engine);
+  std::unique_ptr<GradientEngine> fallback;
+  if (options_.non_finite_policy == NonFinitePolicy::kFallbackEngine) {
+    fallback = std::make_unique<ParameterShiftEngine>();
+  }
 
   TrainOptions train_options;
   train_options.max_iterations = options_.iterations;
+  train_options.non_finite_policy = options_.non_finite_policy;
+  train_options.fallback_engine = fallback.get();
+  train_options.deadline_seconds = options_.deadline_seconds;
+  train_options.cancel = control.cancel;
 
   const Rng root(options_.seed);
 
   TrainingResult result;
   result.options = options_;
   for (std::size_t t = 0; t < initializers.size(); ++t) {
-    Rng param_rng = root.child(t);
-    std::vector<double> params =
-        initializers[t]->initialize(*circuit, param_rng);
-
-    const auto optimizer =
-        make_optimizer(options_.optimizer, options_.learning_rate);
+    const std::string key =
+        control.cell_prefix + "init=" + initializers[t]->name();
     TrainingSeries series;
     series.initializer = initializers[t]->name();
-    series.result =
-        train(cost, *engine, *optimizer, std::move(params), train_options);
+
+    const CheckpointCell* cell =
+        checkpoint != nullptr ? checkpoint->find_cell(key) : nullptr;
+    if (cell != nullptr) {
+      series.result = train_result_from_cell(*cell);
+    } else {
+      if (control.cancel != nullptr) {
+        control.cancel->throw_if_cancelled("training experiment at " + key);
+      }
+      // Each series draws its parameters from an independent child stream
+      // of the root seed, so skipping restored series cannot shift the
+      // randomness of the ones still to be trained.
+      Rng param_rng = root.child(t);
+      std::vector<double> params =
+          initializers[t]->initialize(*circuit, param_rng);
+      const auto optimizer =
+          make_optimizer(options_.optimizer, options_.learning_rate);
+      series.result =
+          train(cost, *engine, *optimizer, std::move(params), train_options);
+      if (checkpoint != nullptr) {
+        checkpoint->put_cell(key, cell_from_train_result(series.result));
+        checkpoint->flush();
+      }
+    }
     result.series.push_back(std::move(series));
+    if (control.progress) {
+      control.progress(
+          RunProgress{key, t + 1, initializers.size(), cell != nullptr});
+    }
   }
   return result;
 }
 
 TrainingResult TrainingExperiment::run_paper_set(FanMode mode) const {
+  return run_paper_set(mode, RunControl{});
+}
+
+TrainingResult TrainingExperiment::run_paper_set(
+    FanMode mode, const RunControl& control) const {
   const auto owned = paper_initializers(mode);
   std::vector<const Initializer*> ptrs;
   ptrs.reserve(owned.size());
   for (const auto& init : owned) {
     ptrs.push_back(init.get());
   }
-  return run(ptrs);
+  return run(ptrs, control);
 }
 
 const TrainingSeries& TrainingResult::find(
@@ -104,13 +225,30 @@ Table TrainingResult::loss_table(std::size_t stride) const {
   return table;
 }
 
+std::string options_fingerprint(const TrainingSweepOptions& options) {
+  return "training-sweep/v1;reps=" + std::to_string(options.repetitions) +
+         ";" + options_fingerprint(options.base);
+}
+
 TrainingSweepResult run_training_sweep(
     const std::vector<const Initializer*>& initializers,
     const TrainingSweepOptions& options) {
+  return run_training_sweep(initializers, options, RunControl{});
+}
+
+TrainingSweepResult run_training_sweep(
+    const std::vector<const Initializer*>& initializers,
+    const TrainingSweepOptions& options, const RunControl& control) {
   QBARREN_REQUIRE(options.repetitions >= 2,
                   "run_training_sweep: need >= 2 repetitions for spread");
   QBARREN_REQUIRE(!initializers.empty(),
                   "run_training_sweep: no initializers");
+  if (control.checkpoint != nullptr && control.cell_prefix.empty() &&
+      control.checkpoint->fingerprint() != options_fingerprint(options)) {
+    throw CheckpointError(
+        "run_training_sweep: checkpoint fingerprint does not match this "
+        "sweep's options");
+  }
 
   TrainingSweepResult result;
   result.options = options;
@@ -119,11 +257,26 @@ TrainingSweepResult run_training_sweep(
     result.series[t].initializer = initializers[t]->name();
   }
 
+  const std::size_t total_cells = options.repetitions * initializers.size();
   for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
     TrainingExperimentOptions rep_options = options.base;
     rep_options.seed = splitmix64(options.base.seed ^ (rep + 1));
+    // Namespace the inner cells per repetition; the inner run validates
+    // nothing itself (non-empty prefix) because this sweep's fingerprint
+    // was checked above. Progress is re-based to sweep-wide counts.
+    RunControl inner = control;
+    inner.cell_prefix =
+        control.cell_prefix + "rep=" + std::to_string(rep) + "/";
+    if (control.progress) {
+      const std::size_t base_count = rep * initializers.size();
+      inner.progress = [&control, base_count,
+                        total_cells](const RunProgress& p) {
+        control.progress(RunProgress{p.cell, base_count + p.completed,
+                                     total_cells, p.from_checkpoint});
+      };
+    }
     const TrainingResult run =
-        TrainingExperiment(rep_options).run(initializers);
+        TrainingExperiment(rep_options).run(initializers, inner);
     for (std::size_t t = 0; t < initializers.size(); ++t) {
       result.series[t].final_losses.push_back(
           run.series[t].result.final_loss);

@@ -2,12 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/checkpoint.hpp"
 #include "qbarren/grad/engine.hpp"
 #include "qbarren/init/registry.hpp"
 
 namespace qbarren {
+
+namespace {
+
+std::string hexfloat_string(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);  // exact, locale-independent
+  return buf;
+}
+
+std::string variance_cell_key(const RunControl& control, std::size_t qubits,
+                              const std::string& initializer) {
+  return control.cell_prefix + "q=" + std::to_string(qubits) +
+         "/init=" + initializer;
+}
+
+void report_cell(const RunControl& control, std::string cell,
+                 std::size_t completed, std::size_t total,
+                 bool from_checkpoint) {
+  if (control.progress) {
+    control.progress(
+        RunProgress{std::move(cell), completed, total, from_checkpoint});
+  }
+}
+
+}  // namespace
+
+std::string options_fingerprint(const VarianceExperimentOptions& options) {
+  std::string fp = "variance/v1;qubits=";
+  for (std::size_t i = 0; i < options.qubit_counts.size(); ++i) {
+    if (i != 0) fp += ',';
+    fp += std::to_string(options.qubit_counts[i]);
+  }
+  fp += ";circuits=" + std::to_string(options.circuits_per_point);
+  fp += ";layers=" + std::to_string(options.layers);
+  fp += ";cost=" + cost_kind_name(options.cost);
+  fp += ";seed=" + std::to_string(options.seed);
+  fp += options.entangle ? ";entangle=1" : ";entangle=0";
+  fp += ";engine=" + options.gradient_engine;
+  fp += ";param=" + std::to_string(static_cast<int>(options.which_parameter));
+  fp += ";entangler=" + std::to_string(static_cast<int>(options.entangler));
+  fp += ";topology=" + std::to_string(static_cast<int>(options.topology));
+  // keep_samples is deliberately excluded: it selects what the result
+  // retains, not what is sampled, so checkpoints stay valid across it.
+  return fp;
+}
 
 VarianceExperiment::VarianceExperiment(VarianceExperimentOptions options)
     : options_(std::move(options)) {
@@ -21,15 +68,31 @@ VarianceExperiment::VarianceExperiment(VarianceExperimentOptions options)
                   "compute a variance");
   QBARREN_REQUIRE(options_.layers >= 1,
                   "VarianceExperiment: need >= 1 layer");
+  // Surface an unknown engine name at construction (throws NotFound)
+  // instead of after the caller has committed to a long run.
+  (void)make_gradient_engine(options_.gradient_engine);
 }
 
 VarianceResult VarianceExperiment::run(
     const std::vector<const Initializer*>& initializers) const {
+  return run(initializers, RunControl{});
+}
+
+VarianceResult VarianceExperiment::run(
+    const std::vector<const Initializer*>& initializers,
+    const RunControl& control) const {
   QBARREN_REQUIRE(!initializers.empty(),
                   "VarianceExperiment::run: no initializers");
   for (const Initializer* init : initializers) {
     QBARREN_REQUIRE(init != nullptr,
                     "VarianceExperiment::run: null initializer");
+  }
+  Checkpoint* checkpoint = control.checkpoint;
+  if (checkpoint != nullptr && control.cell_prefix.empty() &&
+      checkpoint->fingerprint() != options_fingerprint(options_)) {
+    throw CheckpointError(
+        "VarianceExperiment::run: checkpoint fingerprint does not match "
+        "this experiment's options");
   }
 
   const auto engine = make_gradient_engine(options_.gradient_engine);
@@ -42,48 +105,102 @@ VarianceResult VarianceExperiment::run(
     result.series[t].initializer = initializers[t]->name();
   }
 
+  const std::size_t total_cells =
+      options_.qubit_counts.size() * initializers.size();
+  std::size_t completed_cells = 0;
+
   // Sample gradients. Circuit structure streams depend on (q, i) only so
   // every initializer sees the same 200 random circuits per qubit count;
-  // parameter streams additionally depend on the initializer index.
+  // parameter streams additionally depend on the initializer index. Each
+  // (q, initializer) cell's samples therefore do not depend on which other
+  // cells were computed in this process — restoring some cells from a
+  // checkpoint and computing the rest reproduces an uninterrupted run
+  // bit-for-bit.
   for (std::size_t qi = 0; qi < options_.qubit_counts.size(); ++qi) {
     const std::size_t q = options_.qubit_counts[qi];
-    const auto observable = make_cost_observable(options_.cost, q);
-    std::vector<std::vector<double>> samples(
-        initializers.size(),
-        std::vector<double>(options_.circuits_per_point));
-
-    const Rng q_stream = root.child(qi);
-    for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
-      const Rng circuit_stream = q_stream.child(2 * i);
-      Rng structure_rng = circuit_stream.child(0);
-      VarianceAnsatzOptions ansatz_options;
-      ansatz_options.layers = options_.layers;
-      ansatz_options.entangle = options_.entangle;
-      ansatz_options.entangler = options_.entangler;
-      ansatz_options.topology = options_.topology;
-      const Circuit circuit = variance_ansatz(q, structure_rng, ansatz_options);
-      std::size_t which = circuit.num_parameters() - 1;
-      switch (options_.which_parameter) {
-        case GradientParameter::kLast:
-          break;
-        case GradientParameter::kMiddle:
-          which = circuit.num_parameters() / 2;
-          break;
-        case GradientParameter::kFirst:
-          which = 0;
-          break;
+    std::vector<std::vector<double>> samples(initializers.size());
+    std::vector<bool> restored(initializers.size(), false);
+    bool need_compute = false;
+    for (std::size_t t = 0; t < initializers.size(); ++t) {
+      if (checkpoint != nullptr) {
+        const CheckpointCell* cell = checkpoint->find_cell(
+            variance_cell_key(control, q, initializers[t]->name()));
+        if (cell != nullptr) {
+          const std::vector<double>& stored = cell->vector("samples");
+          if (stored.size() != options_.circuits_per_point) {
+            throw CheckpointError(
+                "VarianceExperiment::run: checkpoint cell for q=" +
+                std::to_string(q) + " has " +
+                std::to_string(stored.size()) + " samples, expected " +
+                std::to_string(options_.circuits_per_point));
+          }
+          samples[t] = stored;
+          restored[t] = true;
+          continue;
+        }
       }
+      samples[t].resize(options_.circuits_per_point);
+      need_compute = true;
+    }
 
-      for (std::size_t t = 0; t < initializers.size(); ++t) {
-        Rng param_rng = circuit_stream.child(1 + t);
-        const std::vector<double> params =
-            initializers[t]->initialize(circuit, param_rng);
-        samples[t][i] =
-            engine->partial(circuit, *observable, params, which);
+    if (need_compute) {
+      const auto observable = make_cost_observable(options_.cost, q);
+      const Rng q_stream = root.child(qi);
+      for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
+        if (control.cancel != nullptr) {
+          control.cancel->throw_if_cancelled(
+              "variance experiment at qubits=" + std::to_string(q) +
+              " circuit=" + std::to_string(i));
+        }
+        const Rng circuit_stream = q_stream.child(2 * i);
+        Rng structure_rng = circuit_stream.child(0);
+        VarianceAnsatzOptions ansatz_options;
+        ansatz_options.layers = options_.layers;
+        ansatz_options.entangle = options_.entangle;
+        ansatz_options.entangler = options_.entangler;
+        ansatz_options.topology = options_.topology;
+        const Circuit circuit =
+            variance_ansatz(q, structure_rng, ansatz_options);
+        std::size_t which = circuit.num_parameters() - 1;
+        switch (options_.which_parameter) {
+          case GradientParameter::kLast:
+            break;
+          case GradientParameter::kMiddle:
+            which = circuit.num_parameters() / 2;
+            break;
+          case GradientParameter::kFirst:
+            which = 0;
+            break;
+        }
+
+        for (std::size_t t = 0; t < initializers.size(); ++t) {
+          if (restored[t]) continue;
+          Rng param_rng = circuit_stream.child(1 + t);
+          const std::vector<double> params =
+              initializers[t]->initialize(circuit, param_rng);
+          const double g =
+              engine->partial(circuit, *observable, params, which);
+          if (!std::isfinite(g)) {
+            throw NumericalError(
+                "VarianceExperiment::run: non-finite gradient sample "
+                "(initializer '" + initializers[t]->name() + "', qubits " +
+                std::to_string(q) + ", circuit " + std::to_string(i) +
+                ", engine '" + options_.gradient_engine + "')");
+          }
+          samples[t][i] = g;
+        }
       }
     }
 
     for (std::size_t t = 0; t < initializers.size(); ++t) {
+      const std::string key =
+          variance_cell_key(control, q, initializers[t]->name());
+      if (checkpoint != nullptr && !restored[t]) {
+        CheckpointCell cell;
+        cell.vectors["samples"] = samples[t];
+        checkpoint->put_cell(key, std::move(cell));
+        checkpoint->flush();
+      }
       VariancePoint point;
       point.qubits = q;
       point.gradient_summary = summarize(samples[t]);
@@ -92,6 +209,7 @@ VarianceResult VarianceExperiment::run(
         point.samples = samples[t];
       }
       result.series[t].points.push_back(std::move(point));
+      report_cell(control, key, ++completed_cells, total_cells, restored[t]);
     }
   }
 
@@ -115,18 +233,41 @@ VarianceResult VarianceExperiment::run(
 }
 
 VarianceResult VarianceExperiment::run_paper_set(FanMode mode) const {
+  return run_paper_set(mode, RunControl{});
+}
+
+VarianceResult VarianceExperiment::run_paper_set(
+    FanMode mode, const RunControl& control) const {
   const auto owned = paper_initializers(mode);
   std::vector<const Initializer*> ptrs;
   ptrs.reserve(owned.size());
   for (const auto& init : owned) {
     ptrs.push_back(init.get());
   }
-  return run(ptrs);
+  return run(ptrs, control);
+}
+
+std::string positional_fingerprint(const VarianceExperimentOptions& options,
+                                   const Initializer& initializer,
+                                   const std::vector<double>& fractions) {
+  std::string fp = "positional/v1;init=" + initializer.name() + ";fractions=";
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    if (f != 0) fp += ',';
+    fp += hexfloat_string(fractions[f]);
+  }
+  return fp + ";" + options_fingerprint(options);
 }
 
 PositionalVarianceResult positional_variance(
     const VarianceExperimentOptions& options, const Initializer& initializer,
     std::vector<double> fractions) {
+  return positional_variance(options, initializer, std::move(fractions),
+                             RunControl{});
+}
+
+PositionalVarianceResult positional_variance(
+    const VarianceExperimentOptions& options, const Initializer& initializer,
+    std::vector<double> fractions, const RunControl& control) {
   QBARREN_REQUIRE(!fractions.empty(), "positional_variance: no fractions");
   for (const double f : fractions) {
     QBARREN_REQUIRE(f >= 0.0 && f <= 1.0,
@@ -134,6 +275,14 @@ PositionalVarianceResult positional_variance(
   }
   const VarianceExperiment checked(options);  // validates the options
   (void)checked;
+  Checkpoint* checkpoint = control.checkpoint;
+  if (checkpoint != nullptr && control.cell_prefix.empty() &&
+      checkpoint->fingerprint() !=
+          positional_fingerprint(options, initializer, fractions)) {
+    throw CheckpointError(
+        "positional_variance: checkpoint fingerprint does not match this "
+        "run's options");
+  }
 
   const AdjointEngine engine;
   const Rng root(options.seed);
@@ -144,38 +293,82 @@ PositionalVarianceResult positional_variance(
   result.variances.assign(result.fractions.size(),
                           std::vector<double>(options.qubit_counts.size()));
 
+  // One checkpoint cell per qubit count holding every fraction's samples
+  // ("f0", "f1", ...); the qubit counts are independent sub-streams of the
+  // root seed, so per-cell resume is exact.
   for (std::size_t qi = 0; qi < options.qubit_counts.size(); ++qi) {
     const std::size_t q = options.qubit_counts[qi];
-    const auto observable = make_cost_observable(options.cost, q);
+    const std::string key =
+        control.cell_prefix + "q=" + std::to_string(q);
     std::vector<std::vector<double>> samples(
         result.fractions.size(),
         std::vector<double>(options.circuits_per_point));
+    bool restored = false;
 
-    const Rng q_stream = root.child(qi);
-    for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
-      const Rng circuit_stream = q_stream.child(2 * i);
-      Rng structure_rng = circuit_stream.child(0);
-      VarianceAnsatzOptions ansatz_options;
-      ansatz_options.layers = options.layers;
-      ansatz_options.entangle = options.entangle;
-      ansatz_options.entangler = options.entangler;
-      ansatz_options.topology = options.topology;
-      const Circuit circuit =
-          variance_ansatz(q, structure_rng, ansatz_options);
-      Rng param_rng = circuit_stream.child(1);
-      const auto params = initializer.initialize(circuit, param_rng);
-      const auto grad = engine.gradient(circuit, *observable, params);
+    if (checkpoint != nullptr) {
+      if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
+        for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+          const std::vector<double>& stored =
+              cell->vector("f" + std::to_string(f));
+          if (stored.size() != options.circuits_per_point) {
+            throw CheckpointError(
+                "positional_variance: checkpoint cell " + key +
+                " has the wrong sample count");
+          }
+          samples[f] = stored;
+        }
+        restored = true;
+      }
+    }
 
-      const std::size_t last = circuit.num_parameters() - 1;
-      for (std::size_t f = 0; f < result.fractions.size(); ++f) {
-        const auto k = static_cast<std::size_t>(
-            std::llround(result.fractions[f] * static_cast<double>(last)));
-        samples[f][i] = grad[k];
+    if (!restored) {
+      const auto observable = make_cost_observable(options.cost, q);
+      const Rng q_stream = root.child(qi);
+      for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
+        if (control.cancel != nullptr) {
+          control.cancel->throw_if_cancelled(
+              "positional variance at qubits=" + std::to_string(q) +
+              " circuit=" + std::to_string(i));
+        }
+        const Rng circuit_stream = q_stream.child(2 * i);
+        Rng structure_rng = circuit_stream.child(0);
+        VarianceAnsatzOptions ansatz_options;
+        ansatz_options.layers = options.layers;
+        ansatz_options.entangle = options.entangle;
+        ansatz_options.entangler = options.entangler;
+        ansatz_options.topology = options.topology;
+        const Circuit circuit =
+            variance_ansatz(q, structure_rng, ansatz_options);
+        Rng param_rng = circuit_stream.child(1);
+        const auto params = initializer.initialize(circuit, param_rng);
+        const auto grad = engine.gradient(circuit, *observable, params);
+
+        const std::size_t last = circuit.num_parameters() - 1;
+        for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+          const auto k = static_cast<std::size_t>(
+              std::llround(result.fractions[f] * static_cast<double>(last)));
+          if (!std::isfinite(grad[k])) {
+            throw NumericalError(
+                "positional_variance: non-finite gradient sample at "
+                "qubits=" + std::to_string(q) +
+                " circuit=" + std::to_string(i));
+          }
+          samples[f][i] = grad[k];
+        }
+      }
+      if (checkpoint != nullptr) {
+        CheckpointCell cell;
+        for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+          cell.vectors["f" + std::to_string(f)] = samples[f];
+        }
+        checkpoint->put_cell(key, std::move(cell));
+        checkpoint->flush();
       }
     }
     for (std::size_t f = 0; f < result.fractions.size(); ++f) {
       result.variances[f][qi] = sample_variance(samples[f]);
     }
+    report_cell(control, key, qi + 1, options.qubit_counts.size(), restored);
   }
   return result;
 }

@@ -1,0 +1,95 @@
+// Versioned on-disk checkpoint store for long experiment runs.
+//
+// A Checkpoint maps cell keys (one per unit of resumable work, e.g.
+// "q=8/init=random") to payloads of named scalars and double vectors. The
+// store is keyed by an *options fingerprint*: a canonical string derived
+// from every option that shaped the run. Loading a checkpoint whose
+// fingerprint differs from the current run's options throws, so a stale
+// file can never silently contaminate fresh results.
+//
+// The file format is line-based text, version-tagged, and stores doubles
+// as C hexfloats ("%a"), which round-trip bit-for-bit — a resumed run
+// reproduces an uninterrupted run exactly. Every flush() rewrites the file
+// through write_file_atomic, so a kill at any instant leaves either the
+// previous complete checkpoint or the new one, never a torn file.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+/// Thrown on checkpoint version/fingerprint mismatch or file corruption.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Payload of one completed unit of work. Names are identifiers
+/// ([A-Za-z0-9_] only); values round-trip exactly.
+struct CheckpointCell {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::vector<double>> vectors;
+
+  /// Typed lookups that throw CheckpointError (naming the missing field)
+  /// instead of std::out_of_range, so a truncated or hand-edited cell is
+  /// reported as checkpoint corruption.
+  [[nodiscard]] double scalar(const std::string& name) const;
+  [[nodiscard]] const std::vector<double>& vector(
+      const std::string& name) const;
+};
+
+class Checkpoint {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// A fresh, empty store. Nothing touches the filesystem until flush().
+  /// `path` may name a non-existent file; `fingerprint` must be a single
+  /// line. An empty path makes flush() a no-op (in-memory store).
+  Checkpoint(std::string path, std::string fingerprint);
+
+  /// Parses the checkpoint at `path`. Throws CheckpointError when the file
+  /// is missing, malformed, has a different format version, or carries a
+  /// fingerprint other than `expected_fingerprint` (a stale checkpoint
+  /// from a run with different options).
+  [[nodiscard]] static Checkpoint load(const std::string& path,
+                                       const std::string& expected_fingerprint);
+
+  /// `resume` ? load-if-present (validating the fingerprint) : fresh store.
+  [[nodiscard]] static Checkpoint open(const std::string& path,
+                                       const std::string& fingerprint,
+                                       bool resume);
+
+  [[nodiscard]] bool has_cell(const std::string& key) const;
+
+  /// nullptr when absent.
+  [[nodiscard]] const CheckpointCell* find_cell(const std::string& key) const;
+
+  /// Inserts or replaces a cell. Keys must be non-empty single lines.
+  void put_cell(const std::string& key, CheckpointCell cell);
+
+  /// Atomically rewrites the backing file with the current contents.
+  /// No-op for an in-memory store (empty path).
+  void flush() const;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  /// The exact byte content flush() writes (exposed for tests).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::string path_;
+  std::string fingerprint_;
+  std::map<std::string, CheckpointCell> cells_;  // ordered => deterministic
+};
+
+}  // namespace qbarren

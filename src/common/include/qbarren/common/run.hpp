@@ -1,0 +1,114 @@
+// Resilient-run infrastructure: atomic file output, cooperative
+// cancellation, and the control block threaded through long experiments.
+//
+// The paper's sweeps (200 circuits x 6 initializers x 5 qubit counts, plus
+// multi-seed training) run for hours; an all-or-nothing loop discards
+// everything on a crash or Ctrl-C. The pieces here make such runs durable:
+//   * write_file_atomic  — write-temp + fsync + rename, so readers (and a
+//     killed process) never observe a truncated file;
+//   * CancellationToken  — a cooperative flag experiments poll between
+//     units of work, optionally wired to SIGINT/SIGTERM;
+//   * RunControl         — the optional bundle of cancellation, checkpoint
+//     store, and progress callback accepted by every experiment runner.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+class Checkpoint;  // checkpoint.hpp; forward-declared to keep this header light
+
+/// Thrown when a run stops because cancellation was requested. Completed
+/// checkpoint cells have already been flushed when this propagates out of
+/// an experiment runner, so catching it at the top level and exiting is a
+/// durable interrupt.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+/// Writes `content` to `path` atomically: the bytes go to a temporary file
+/// in the same directory, are fsync'ed, and the temporary is rename(2)'d
+/// over the destination. Readers either see the old complete file or the
+/// new complete file, never a mix or a truncation. Throws qbarren::Error
+/// on any I/O failure (the temporary is removed on the failure path).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Cooperative cancellation flag. Thread- and signal-safe: request_cancel
+/// is async-signal-safe (lock-free atomic store), so it can be called from
+/// a signal handler while an experiment polls cancelled() between cells.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws Cancelled carrying `context` when cancellation was requested.
+  void throw_if_cancelled(const std::string& context) const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "request_cancel must be async-signal-safe");
+};
+
+/// RAII: while alive, SIGINT and SIGTERM request cancellation on the given
+/// token instead of killing the process; the previous handlers are
+/// restored on destruction. At most one may be active at a time (the
+/// constructor throws InvalidArgument otherwise).
+class ScopedSignalCancellation {
+ public:
+  explicit ScopedSignalCancellation(CancellationToken& token);
+  ~ScopedSignalCancellation();
+  ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
+  ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) = delete;
+
+ private:
+  void (*old_int_)(int) = nullptr;
+  void (*old_term_)(int) = nullptr;
+};
+
+/// One completed experiment cell, reported through RunControl::progress.
+struct RunProgress {
+  std::string cell;              ///< cell key, e.g. "q=8/init=random"
+  std::size_t completed = 0;     ///< cells finished so far (including this)
+  std::size_t total = 0;         ///< total cells in the run
+  bool from_checkpoint = false;  ///< true when restored rather than computed
+};
+
+/// Optional hooks threaded through every experiment runner. Default
+/// construction is a no-op control block, so `run(inits, RunControl{})`
+/// behaves exactly like the hook-free overload.
+struct RunControl {
+  /// Polled between units of work; a set token makes the runner flush all
+  /// completed checkpoint cells and throw Cancelled.
+  const CancellationToken* cancel = nullptr;
+
+  /// When set, completed cells are stored (and flushed atomically) as the
+  /// run progresses, and cells already present are restored instead of
+  /// recomputed. The store's fingerprint must match the experiment's
+  /// options fingerprint (verified by the runner when cell_prefix is
+  /// empty; composite runners such as the training sweep verify their own
+  /// fingerprint and call inner runners with a non-empty prefix).
+  Checkpoint* checkpoint = nullptr;
+
+  /// Prepended to every cell key; used by composite runners to namespace
+  /// inner cells ("rep=3/" + "init=random").
+  std::string cell_prefix;
+
+  /// Called after every completed (or restored) cell.
+  std::function<void(const RunProgress&)> progress;
+};
+
+}  // namespace qbarren

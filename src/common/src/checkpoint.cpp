@@ -1,0 +1,234 @@
+#include "qbarren/common/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "qbarren/common/run.hpp"
+
+namespace qbarren {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw CheckpointError("checkpoint " + path + ": " + why);
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char ch : s) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);  // hexfloat: exact round trip
+  out += buf;
+}
+
+/// Parses one double token with strtod (iostream hexfloat extraction is
+/// unreliable); `where` names the field for error messages.
+double parse_double(std::istringstream& line, const std::string& path,
+                    const std::string& where) {
+  std::string token;
+  if (!(line >> token)) {
+    corrupt(path, "missing value in " + where);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    corrupt(path, "bad numeric token '" + token + "' in " + where);
+  }
+  return v;
+}
+
+}  // namespace
+
+double CheckpointCell::scalar(const std::string& name) const {
+  const auto it = scalars.find(name);
+  if (it == scalars.end()) {
+    throw CheckpointError("checkpoint cell: missing scalar '" + name + "'");
+  }
+  return it->second;
+}
+
+const std::vector<double>& CheckpointCell::vector(
+    const std::string& name) const {
+  const auto it = vectors.find(name);
+  if (it == vectors.end()) {
+    throw CheckpointError("checkpoint cell: missing vector '" + name + "'");
+  }
+  return it->second;
+}
+
+Checkpoint::Checkpoint(std::string path, std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint)) {
+  QBARREN_REQUIRE(!fingerprint_.empty(), "Checkpoint: empty fingerprint");
+  QBARREN_REQUIRE(fingerprint_.find('\n') == std::string::npos,
+                  "Checkpoint: fingerprint must be a single line");
+}
+
+Checkpoint Checkpoint::load(const std::string& path,
+                            const std::string& expected_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint " + path + ": cannot open");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream stream(buffer.str());
+
+  std::string line;
+  if (!std::getline(stream, line)) {
+    corrupt(path, "empty file");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = -1;
+    if (!(header >> magic >> version) || magic != "qbarren-checkpoint") {
+      corrupt(path, "not a qbarren checkpoint");
+    }
+    if (version != kFormatVersion) {
+      corrupt(path, "format version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(kFormatVersion) + ")");
+    }
+  }
+  if (!std::getline(stream, line) || line.rfind("fingerprint ", 0) != 0) {
+    corrupt(path, "missing fingerprint line");
+  }
+  const std::string stored = line.substr(std::string("fingerprint ").size());
+  if (stored != expected_fingerprint) {
+    throw CheckpointError(
+        "checkpoint " + path +
+        ": stale — it was written by a run with different options\n"
+        "  stored:   " + stored + "\n  expected: " + expected_fingerprint);
+  }
+
+  Checkpoint ckpt(path, stored);
+  std::string current_key;
+  bool in_cell = false;
+  CheckpointCell current;
+  bool saw_end = false;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "cell") {
+      if (in_cell) corrupt(path, "cell without endcell");
+      std::string rest;
+      std::getline(fields, rest);
+      if (rest.size() < 2 || rest[0] != ' ') corrupt(path, "bad cell line");
+      current_key = rest.substr(1);
+      current = CheckpointCell{};
+      in_cell = true;
+    } else if (tag == "scalar") {
+      if (!in_cell) corrupt(path, "scalar outside cell");
+      std::string name;
+      if (!(fields >> name) || !is_identifier(name)) {
+        corrupt(path, "bad scalar name");
+      }
+      current.scalars[name] =
+          parse_double(fields, path, "scalar " + name);
+    } else if (tag == "vector") {
+      if (!in_cell) corrupt(path, "vector outside cell");
+      std::string name;
+      std::size_t count = 0;
+      if (!(fields >> name >> count) || !is_identifier(name)) {
+        corrupt(path, "bad vector header");
+      }
+      std::vector<double>& values = current.vectors[name];
+      values.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        values[i] = parse_double(fields, path, "vector " + name);
+      }
+    } else if (tag == "endcell") {
+      if (!in_cell) corrupt(path, "endcell outside cell");
+      ckpt.cells_[current_key] = std::move(current);
+      current = CheckpointCell{};
+      in_cell = false;
+    } else if (tag == "end") {
+      std::size_t count = 0;
+      if (!(fields >> count) || count != ckpt.cells_.size()) {
+        corrupt(path, "cell count mismatch (truncated file?)");
+      }
+      saw_end = true;
+      break;
+    } else {
+      corrupt(path, "unknown line tag '" + tag + "'");
+    }
+  }
+  if (in_cell) corrupt(path, "cell without endcell at EOF");
+  if (!saw_end) corrupt(path, "missing end marker (truncated file?)");
+  return ckpt;
+}
+
+Checkpoint Checkpoint::open(const std::string& path,
+                            const std::string& fingerprint, bool resume) {
+  if (resume && std::ifstream(path).good()) {
+    return load(path, fingerprint);
+  }
+  return Checkpoint(path, fingerprint);
+}
+
+bool Checkpoint::has_cell(const std::string& key) const {
+  return cells_.find(key) != cells_.end();
+}
+
+const CheckpointCell* Checkpoint::find_cell(const std::string& key) const {
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void Checkpoint::put_cell(const std::string& key, CheckpointCell cell) {
+  QBARREN_REQUIRE(!key.empty() && key.find('\n') == std::string::npos,
+                  "Checkpoint::put_cell: key must be a non-empty single line");
+  for (const auto& [name, unused] : cell.scalars) {
+    QBARREN_REQUIRE(is_identifier(name),
+                    "Checkpoint::put_cell: scalar names must be identifiers");
+  }
+  for (const auto& [name, unused] : cell.vectors) {
+    QBARREN_REQUIRE(is_identifier(name),
+                    "Checkpoint::put_cell: vector names must be identifiers");
+  }
+  cells_[key] = std::move(cell);
+}
+
+std::string Checkpoint::serialize() const {
+  std::string out;
+  out += "qbarren-checkpoint " + std::to_string(kFormatVersion) + "\n";
+  out += "fingerprint " + fingerprint_ + "\n";
+  for (const auto& [key, cell] : cells_) {
+    out += "cell " + key + "\n";
+    for (const auto& [name, value] : cell.scalars) {
+      out += "scalar " + name + " ";
+      append_double(out, value);
+      out += '\n';
+    }
+    for (const auto& [name, values] : cell.vectors) {
+      out += "vector " + name + " " + std::to_string(values.size());
+      for (const double v : values) {
+        out += ' ';
+        append_double(out, v);
+      }
+      out += '\n';
+    }
+    out += "endcell\n";
+  }
+  out += "end " + std::to_string(cells_.size()) + "\n";
+  return out;
+}
+
+void Checkpoint::flush() const {
+  if (path_.empty()) return;
+  write_file_atomic(path_, serialize());
+}
+
+}  // namespace qbarren

@@ -1,10 +1,10 @@
 #include "qbarren/common/json.hpp"
 
 #include <cmath>
-#include <fstream>
 #include <sstream>
 
 #include "qbarren/common/error.hpp"
+#include "qbarren/common/run.hpp"
 
 namespace qbarren {
 
@@ -206,14 +206,9 @@ std::string JsonValue::dump(int indent) const {
 
 void write_json_file(const JsonValue& value, const std::string& path,
                      int indent) {
-  std::ofstream out(path);
-  if (!out) {
-    throw Error("write_json_file: cannot open " + path);
-  }
-  out << value.dump(indent) << '\n';
-  if (!out) {
-    throw Error("write_json_file: write failed for " + path);
-  }
+  // Atomic (temp + fsync + rename): a killed process never leaves a
+  // truncated or corrupt results file behind.
+  write_file_atomic(path, value.dump(indent) + '\n');
 }
 
 }  // namespace qbarren

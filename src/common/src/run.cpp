@@ -1,0 +1,128 @@
+#include "qbarren/common/run.hpp"
+
+#include <csignal>
+#include <cstdio>
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#endif
+
+namespace qbarren {
+
+namespace {
+
+#if !defined(_WIN32)
+[[noreturn]] void throw_io_error(const std::string& what,
+                                 const std::string& path) {
+  throw Error("write_file_atomic: " + what + " for " + path + ": " +
+              std::strerror(errno));
+}
+#endif
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  QBARREN_REQUIRE(!path.empty(), "write_file_atomic: empty path");
+#if defined(_WIN32)
+  // Portability fallback: plain truncating write (no fsync/rename
+  // guarantees outside POSIX).
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error("write_file_atomic: cannot open " + path);
+  }
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    throw Error("write_file_atomic: write failed for " + path);
+  }
+#else
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw_io_error("cannot open temporary", tmp);
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_io_error("write failed", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_io_error("fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io_error("close failed", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io_error("rename failed", path);
+  }
+  // Durability of the rename itself requires fsync on the directory;
+  // best-effort (some filesystems refuse directory fsync).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+}
+
+void CancellationToken::throw_if_cancelled(const std::string& context) const {
+  if (cancelled()) {
+    throw Cancelled("cancelled: " + context);
+  }
+}
+
+namespace {
+
+// The token the installed handlers forward to. A plain atomic pointer so
+// the handler body is async-signal-safe.
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+
+void forward_signal_to_token(int /*signum*/) {
+  CancellationToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr) {
+    token->request_cancel();
+  }
+}
+
+}  // namespace
+
+ScopedSignalCancellation::ScopedSignalCancellation(CancellationToken& token) {
+  CancellationToken* expected = nullptr;
+  QBARREN_REQUIRE(
+      g_signal_token.compare_exchange_strong(expected, &token),
+      "ScopedSignalCancellation: another instance is already active");
+  old_int_ = std::signal(SIGINT, &forward_signal_to_token);
+  old_term_ = std::signal(SIGTERM, &forward_signal_to_token);
+}
+
+ScopedSignalCancellation::~ScopedSignalCancellation() {
+  std::signal(SIGINT, old_int_ == SIG_ERR ? SIG_DFL : old_int_);
+  std::signal(SIGTERM, old_term_ == SIG_ERR ? SIG_DFL : old_term_);
+  g_signal_token.store(nullptr, std::memory_order_relaxed);
+}
+
+}  // namespace qbarren

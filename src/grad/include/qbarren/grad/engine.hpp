@@ -119,7 +119,11 @@ class SpsaEngine final : public GradientEngine {
 };
 
 /// Builds an engine by name: "parameter-shift", "finite-difference",
-/// "adjoint", "spsa" (spsa takes seed 0). Throws NotFound otherwise.
+/// "adjoint", "spsa" (spsa takes seed 0). Two decorator prefixes compose
+/// with any inner name (see guard.hpp): "guarded:<inner>" throws
+/// NumericalError on any non-finite output, and "nan-at:<k>:<inner>"
+/// deterministically injects a NaN at call k (fault-injection testing).
+/// Throws NotFound otherwise.
 [[nodiscard]] std::unique_ptr<GradientEngine> make_gradient_engine(
     const std::string& name);
 

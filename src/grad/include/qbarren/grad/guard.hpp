@@ -1,0 +1,81 @@
+// Gradient-engine decorators for numerical robustness testing and guards.
+//
+// NonFiniteGuardEngine turns a silent NaN/Inf anywhere in an engine's
+// output into an immediate NumericalError at the point of production —
+// far easier to debug than a NaN that surfaces hours later as a NaN
+// variance cell. FaultInjectedEngine deterministically corrupts the k-th
+// call's output, which is how the resilience tests exercise every
+// non-finite recovery path without relying on a numerically fragile
+// circuit.
+//
+// Both compose through make_gradient_engine's name syntax:
+//   "guarded:adjoint"          — adjoint with a non-finite output guard
+//   "nan-at:3:parameter-shift" — parameter-shift whose 4th call (0-based
+//                                index 3) returns NaN
+#pragma once
+
+#include <memory>
+
+#include "qbarren/grad/engine.hpp"
+
+namespace qbarren {
+
+/// Delegates to `inner` and throws NumericalError when any returned value
+/// or gradient component is non-finite.
+class NonFiniteGuardEngine final : public GradientEngine {
+ public:
+  explicit NonFiniteGuardEngine(std::unique_ptr<GradientEngine> inner);
+
+  [[nodiscard]] std::string name() const override {
+    return "guarded:" + inner_->name();
+  }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+  [[nodiscard]] double partial(const Circuit& circuit,
+                               const Observable& observable,
+                               std::span<const double> params,
+                               std::size_t index) const override;
+  [[nodiscard]] ValueAndGradient value_and_gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+
+ private:
+  std::unique_ptr<GradientEngine> inner_;
+};
+
+/// Delegates to `inner` but poisons the output of call number
+/// `nan_call_index` (0-based, counted across gradient / partial /
+/// value_and_gradient) with a quiet NaN. Deterministic: the same call
+/// sequence always fails at the same point.
+class FaultInjectedEngine final : public GradientEngine {
+ public:
+  FaultInjectedEngine(std::unique_ptr<GradientEngine> inner,
+                      std::size_t nan_call_index);
+
+  [[nodiscard]] std::string name() const override {
+    return "nan-at:" + std::to_string(nan_call_index_) + ":" +
+           inner_->name();
+  }
+  [[nodiscard]] std::vector<double> gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+  [[nodiscard]] double partial(const Circuit& circuit,
+                               const Observable& observable,
+                               std::span<const double> params,
+                               std::size_t index) const override;
+  [[nodiscard]] ValueAndGradient value_and_gradient(
+      const Circuit& circuit, const Observable& observable,
+      std::span<const double> params) const override;
+
+  [[nodiscard]] std::size_t calls_made() const noexcept { return calls_; }
+
+ private:
+  [[nodiscard]] bool fire() const;  // advances the counter
+
+  std::unique_ptr<GradientEngine> inner_;
+  std::size_t nan_call_index_;
+  mutable std::size_t calls_ = 0;
+};
+
+}  // namespace qbarren

@@ -1,5 +1,9 @@
 #include "qbarren/grad/engine.hpp"
 
+#include <cstdlib>
+
+#include "qbarren/grad/guard.hpp"
+
 namespace qbarren {
 
 void GradientEngine::check_args(const Circuit& circuit,
@@ -32,6 +36,29 @@ ValueAndGradient GradientEngine::value_and_gradient(
 }
 
 std::unique_ptr<GradientEngine> make_gradient_engine(const std::string& name) {
+  // Decorator prefixes (see guard.hpp). "guarded:<inner>" wraps a
+  // non-finite output guard; "nan-at:<k>:<inner>" injects a NaN at call k
+  // (deterministic fault injection for resilience tests).
+  if (name.starts_with("guarded:")) {
+    return std::make_unique<NonFiniteGuardEngine>(
+        make_gradient_engine(name.substr(std::string("guarded:").size())));
+  }
+  if (name.starts_with("nan-at:")) {
+    const std::size_t k_begin = std::string("nan-at:").size();
+    const std::size_t colon = name.find(':', k_begin);
+    if (colon != std::string::npos && colon > k_begin) {
+      char* end = nullptr;
+      const std::string digits = name.substr(k_begin, colon - k_begin);
+      const unsigned long long k = std::strtoull(digits.c_str(), &end, 10);
+      if (end != digits.c_str() && *end == '\0') {
+        return std::make_unique<FaultInjectedEngine>(
+            make_gradient_engine(name.substr(colon + 1)),
+            static_cast<std::size_t>(k));
+      }
+    }
+    throw NotFound("make_gradient_engine: malformed fault spec '" + name +
+                   "' (want nan-at:<k>:<engine>)");
+  }
   if (name == "parameter-shift") {
     return std::make_unique<ParameterShiftEngine>();
   }

@@ -1,0 +1,99 @@
+#include "qbarren/grad/guard.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace qbarren {
+
+namespace {
+
+void check_finite(double v, const std::string& engine, const char* what) {
+  if (!std::isfinite(v)) {
+    throw NumericalError("NonFiniteGuardEngine: engine '" + engine +
+                         "' produced a non-finite " + what);
+  }
+}
+
+void check_finite(std::span<const double> values, const std::string& engine,
+                  const char* what) {
+  for (const double v : values) {
+    check_finite(v, engine, what);
+  }
+}
+
+}  // namespace
+
+NonFiniteGuardEngine::NonFiniteGuardEngine(
+    std::unique_ptr<GradientEngine> inner)
+    : inner_(std::move(inner)) {
+  QBARREN_REQUIRE(inner_ != nullptr, "NonFiniteGuardEngine: null inner");
+}
+
+std::vector<double> NonFiniteGuardEngine::gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  std::vector<double> g = inner_->gradient(circuit, observable, params);
+  check_finite(g, inner_->name(), "gradient component");
+  return g;
+}
+
+double NonFiniteGuardEngine::partial(const Circuit& circuit,
+                                     const Observable& observable,
+                                     std::span<const double> params,
+                                     std::size_t index) const {
+  const double g = inner_->partial(circuit, observable, params, index);
+  check_finite(g, inner_->name(), "partial derivative");
+  return g;
+}
+
+ValueAndGradient NonFiniteGuardEngine::value_and_gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  ValueAndGradient vg =
+      inner_->value_and_gradient(circuit, observable, params);
+  check_finite(vg.value, inner_->name(), "cost value");
+  check_finite(vg.gradient, inner_->name(), "gradient component");
+  return vg;
+}
+
+FaultInjectedEngine::FaultInjectedEngine(
+    std::unique_ptr<GradientEngine> inner, std::size_t nan_call_index)
+    : inner_(std::move(inner)), nan_call_index_(nan_call_index) {
+  QBARREN_REQUIRE(inner_ != nullptr, "FaultInjectedEngine: null inner");
+}
+
+bool FaultInjectedEngine::fire() const { return calls_++ == nan_call_index_; }
+
+std::vector<double> FaultInjectedEngine::gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  const bool inject = fire();
+  std::vector<double> g = inner_->gradient(circuit, observable, params);
+  if (inject && !g.empty()) {
+    g.front() = std::numeric_limits<double>::quiet_NaN();
+  }
+  return g;
+}
+
+double FaultInjectedEngine::partial(const Circuit& circuit,
+                                    const Observable& observable,
+                                    std::span<const double> params,
+                                    std::size_t index) const {
+  const bool inject = fire();
+  const double g = inner_->partial(circuit, observable, params, index);
+  return inject ? std::numeric_limits<double>::quiet_NaN() : g;
+}
+
+ValueAndGradient FaultInjectedEngine::value_and_gradient(
+    const Circuit& circuit, const Observable& observable,
+    std::span<const double> params) const {
+  const bool inject = fire();
+  ValueAndGradient vg =
+      inner_->value_and_gradient(circuit, observable, params);
+  if (inject && !vg.gradient.empty()) {
+    vg.gradient.front() = std::numeric_limits<double>::quiet_NaN();
+  }
+  return vg;
+}
+
+}  // namespace qbarren

@@ -1,14 +1,39 @@
 #include "qbarren/opt/trainer.hpp"
 
+#include <chrono>
 #include <cmath>
 
 namespace qbarren {
+
+namespace {
+
+bool all_finite(std::span<const double> xs) {
+  for (const double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 TrainResult train(const CostFunction& cost, const GradientEngine& engine,
                   Optimizer& optimizer, std::vector<double> initial_params,
                   const TrainOptions& options) {
   QBARREN_REQUIRE(initial_params.size() == cost.num_parameters(),
                   "train: initial parameter count mismatch");
+  QBARREN_REQUIRE(!(options.deadline_seconds < 0.0),
+                  "train: deadline must be non-negative");
+  QBARREN_REQUIRE(
+      options.non_finite_policy != NonFinitePolicy::kFallbackEngine ||
+          options.fallback_engine != nullptr,
+      "train: kFallbackEngine policy requires a fallback engine");
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_seconds = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
 
   TrainResult result;
   result.final_params = std::move(initial_params);
@@ -20,14 +45,61 @@ TrainResult train(const CostFunction& cost, const GradientEngine& engine,
   double loss = cost.value(result.final_params);
   result.initial_loss = loss;
   result.loss_history.push_back(loss);
+  if (!std::isfinite(loss)) {
+    // A non-finite *initial* loss cannot be retried with another gradient
+    // engine; it either throws or marks the (empty) series aborted.
+    if (options.non_finite_policy == NonFinitePolicy::kThrow) {
+      throw NumericalError("train: non-finite initial loss");
+    }
+    result.aborted_non_finite = true;
+    result.final_loss = loss;
+    return result;
+  }
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.cancel != nullptr) {
+      options.cancel->throw_if_cancelled("train at iteration " +
+                                         std::to_string(it));
+    }
+    if (elapsed_seconds() >= options.deadline_seconds) {
+      result.hit_deadline = true;
+      break;
+    }
     if (loss <= options.target_loss) {
       result.reached_target = true;
       break;
     }
-    const ValueAndGradient vg =
+
+    ValueAndGradient vg =
         engine.value_and_gradient(circuit, observable, result.final_params);
+    if (!std::isfinite(vg.value) || !all_finite(vg.gradient)) {
+      switch (options.non_finite_policy) {
+        case NonFinitePolicy::kThrow:
+          throw NumericalError(
+              "train: engine '" + engine.name() +
+              "' produced a non-finite loss/gradient at iteration " +
+              std::to_string(it));
+        case NonFinitePolicy::kAbortSeries:
+          result.aborted_non_finite = true;
+          break;
+        case NonFinitePolicy::kFallbackEngine:
+          vg = options.fallback_engine->value_and_gradient(
+              circuit, observable, result.final_params);
+          ++result.fallback_invocations;
+          if (!std::isfinite(vg.value) || !all_finite(vg.gradient)) {
+            throw NumericalError(
+                "train: fallback engine '" +
+                options.fallback_engine->name() +
+                "' also produced a non-finite loss/gradient at iteration " +
+                std::to_string(it));
+          }
+          break;
+      }
+      if (result.aborted_non_finite) {
+        break;
+      }
+    }
+
     if (options.record_gradient_norms) {
       double norm2 = 0.0;
       for (double g : vg.gradient) {
@@ -39,8 +111,18 @@ TrainResult train(const CostFunction& cost, const GradientEngine& engine,
     loss = cost.value(result.final_params);
     result.loss_history.push_back(loss);
     ++result.iterations;
+    if (!std::isfinite(loss)) {
+      if (options.non_finite_policy == NonFinitePolicy::kThrow) {
+        throw NumericalError("train: non-finite loss after iteration " +
+                             std::to_string(it));
+      }
+      // Recorded in the history above; stop this series (a fallback
+      // engine cannot fix a diverged parameter vector either).
+      result.aborted_non_finite = true;
+      break;
+    }
   }
-  if (loss <= options.target_loss) {
+  if (std::isfinite(loss) && loss <= options.target_loss) {
     result.reached_target = true;
   }
   result.final_loss = loss;

@@ -1,0 +1,562 @@
+// End-to-end resilience tests: deterministic fault injection through the
+// gradient-engine decorators, every non-finite recovery policy in train(),
+// and interrupt/resume round trips that must reproduce an uninterrupted
+// run bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <filesystem>
+
+#include "qbarren/bp/training.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/checkpoint.hpp"
+#include "qbarren/common/run.hpp"
+#include "qbarren/grad/guard.hpp"
+#include "qbarren/init/registry.hpp"
+#include "qbarren/obs/cost.hpp"
+#include "qbarren/opt/trainer.hpp"
+
+namespace qbarren {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  fs::remove(path);
+  return path;
+}
+
+// --- fault-injection decorators ---------------------------------------------
+
+struct SmallProblem {
+  std::shared_ptr<const Circuit> circuit;
+  CostFunction cost;
+  std::vector<double> params;
+
+  SmallProblem()
+      : circuit(std::make_shared<const Circuit>(
+            training_ansatz(3, TrainingAnsatzOptions{.layers = 2}))),
+        cost(make_identity_cost(circuit)),
+        params(circuit->num_parameters(), 0.3) {}
+};
+
+TEST(FaultInjectedEngine, PoisonsExactlyTheConfiguredCall) {
+  const SmallProblem p;
+  const auto engine = make_gradient_engine("nan-at:1:adjoint");
+  EXPECT_EQ(engine->name(), "nan-at:1:adjoint");
+
+  const auto finite = [](const std::vector<double>& g) {
+    for (const double x : g) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  const auto g0 = engine->gradient(*p.circuit, p.cost.observable(), p.params);
+  const auto g1 = engine->gradient(*p.circuit, p.cost.observable(), p.params);
+  const auto g2 = engine->gradient(*p.circuit, p.cost.observable(), p.params);
+  EXPECT_TRUE(finite(g0));
+  EXPECT_FALSE(finite(g1));  // call index 1 is the poisoned one
+  EXPECT_TRUE(finite(g2));
+}
+
+TEST(FaultInjectedEngine, PartialAndValueAndGradientAlsoCounted) {
+  const SmallProblem p;
+  const auto engine = make_gradient_engine("nan-at:0:parameter-shift");
+  EXPECT_TRUE(std::isnan(
+      engine->partial(*p.circuit, p.cost.observable(), p.params, 0)));
+  // The counter advanced past the fault: later calls are clean.
+  const ValueAndGradient vg =
+      engine->value_and_gradient(*p.circuit, p.cost.observable(), p.params);
+  EXPECT_TRUE(std::isfinite(vg.value));
+  for (const double g : vg.gradient) {
+    EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+TEST(NonFiniteGuardEngine, ThrowsAtThePointOfProduction) {
+  const SmallProblem p;
+  const auto guarded = make_gradient_engine("guarded:nan-at:0:adjoint");
+  EXPECT_EQ(guarded->name(), "guarded:nan-at:0:adjoint");
+  EXPECT_THROW(
+      (void)guarded->gradient(*p.circuit, p.cost.observable(), p.params),
+      NumericalError);
+
+  const auto guarded_partial = make_gradient_engine("guarded:nan-at:0:adjoint");
+  EXPECT_THROW((void)guarded_partial->partial(*p.circuit, p.cost.observable(),
+                                              p.params, 0),
+               NumericalError);
+}
+
+TEST(NonFiniteGuardEngine, TransparentForFiniteOutput) {
+  const SmallProblem p;
+  const auto plain = make_gradient_engine("adjoint");
+  const auto guarded = make_gradient_engine("guarded:adjoint");
+  const auto g_plain =
+      plain->gradient(*p.circuit, p.cost.observable(), p.params);
+  const auto g_guarded =
+      guarded->gradient(*p.circuit, p.cost.observable(), p.params);
+  EXPECT_EQ(g_plain, g_guarded);
+}
+
+TEST(GradientEngineFactory, RejectsMalformedDecoratorNames) {
+  EXPECT_THROW((void)make_gradient_engine("nan-at:x:adjoint"), NotFound);
+  EXPECT_THROW((void)make_gradient_engine("nan-at:3"), NotFound);
+  EXPECT_THROW((void)make_gradient_engine("nan-at:3:no-such-engine"),
+               NotFound);
+  EXPECT_THROW((void)make_gradient_engine("guarded:"), NotFound);
+}
+
+// --- train() non-finite policies --------------------------------------------
+
+TrainResult train_small(const std::string& engine_name,
+                        const TrainOptions& options) {
+  const SmallProblem p;
+  const auto engine = make_gradient_engine(engine_name);
+  const auto optimizer = make_optimizer("gradient-descent", 0.1);
+  return train(p.cost, *engine, *optimizer, p.params, options);
+}
+
+TEST(TrainNonFinite, ThrowPolicyFailsLoudly) {
+  TrainOptions options;
+  options.max_iterations = 5;
+  options.non_finite_policy = NonFinitePolicy::kThrow;
+  EXPECT_THROW((void)train_small("nan-at:2:adjoint", options),
+               NumericalError);
+}
+
+TEST(TrainNonFinite, AbortSeriesKeepsPartialHistory) {
+  TrainOptions options;
+  options.max_iterations = 5;
+  options.non_finite_policy = NonFinitePolicy::kAbortSeries;
+  const TrainResult result = train_small("nan-at:2:adjoint", options);
+  EXPECT_TRUE(result.aborted_non_finite);
+  EXPECT_FALSE(result.hit_deadline);
+  // Iterations 0 and 1 completed; the poisoned gradient at iteration 2
+  // stopped the series before its step.
+  EXPECT_EQ(result.iterations, 2u);
+  EXPECT_EQ(result.loss_history.size(), 3u);
+  EXPECT_EQ(result.final_loss, result.loss_history.back());
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+}
+
+TEST(TrainNonFinite, FallbackEngineRecoversAndFinishes) {
+  TrainOptions clean_options;
+  clean_options.max_iterations = 5;
+  const TrainResult clean = train_small("adjoint", clean_options);
+
+  TrainOptions options = clean_options;
+  options.non_finite_policy = NonFinitePolicy::kFallbackEngine;
+  const ParameterShiftEngine fallback;
+  options.fallback_engine = &fallback;
+  const TrainResult result = train_small("nan-at:2:adjoint", options);
+
+  EXPECT_FALSE(result.aborted_non_finite);
+  EXPECT_EQ(result.fallback_invocations, 1u);
+  EXPECT_EQ(result.iterations, 5u);
+  ASSERT_EQ(result.loss_history.size(), clean.loss_history.size());
+  // Parameter-shift computes the same gradients as adjoint (up to fp
+  // noise), so the recovered trajectory matches the clean one.
+  for (std::size_t i = 0; i < clean.loss_history.size(); ++i) {
+    EXPECT_NEAR(result.loss_history[i], clean.loss_history[i], 1e-9);
+  }
+}
+
+TEST(TrainNonFinite, FallbackAlsoFaultyThrows) {
+  TrainOptions options;
+  options.max_iterations = 5;
+  options.non_finite_policy = NonFinitePolicy::kFallbackEngine;
+  // The fallback's first call (index 0) is poisoned too: at the primary's
+  // fault the retry produces another NaN and the loop must give up.
+  const auto faulty_fallback = make_gradient_engine("nan-at:0:adjoint");
+  options.fallback_engine = faulty_fallback.get();
+  EXPECT_THROW((void)train_small("nan-at:2:adjoint", options),
+               NumericalError);
+}
+
+TEST(TrainNonFinite, FallbackPolicyRequiresEngine) {
+  TrainOptions options;
+  options.non_finite_policy = NonFinitePolicy::kFallbackEngine;
+  EXPECT_THROW((void)train_small("adjoint", options), InvalidArgument);
+}
+
+TEST(TrainDeadline, ZeroDeadlineStopsBeforeFirstStep) {
+  TrainOptions options;
+  options.max_iterations = 50;
+  options.deadline_seconds = 0.0;
+  const TrainResult result = train_small("adjoint", options);
+  EXPECT_TRUE(result.hit_deadline);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.loss_history.size(), 1u);
+  EXPECT_EQ(result.final_loss, result.initial_loss);
+}
+
+TEST(TrainDeadline, NegativeDeadlineRejected) {
+  TrainOptions options;
+  options.deadline_seconds = -1.0;
+  EXPECT_THROW((void)train_small("adjoint", options), InvalidArgument);
+}
+
+TEST(TrainCancel, PreCancelledTokenThrowsBeforeAnyStep) {
+  CancellationToken token;
+  token.request_cancel();
+  TrainOptions options;
+  options.cancel = &token;
+  EXPECT_THROW((void)train_small("adjoint", options), Cancelled);
+}
+
+// --- experiment-level fault handling ----------------------------------------
+
+TrainingExperimentOptions faulty_training_options() {
+  TrainingExperimentOptions options;
+  options.qubits = 3;
+  options.layers = 2;
+  options.iterations = 5;
+  options.gradient_engine = "nan-at:2:adjoint";
+  return options;
+}
+
+TEST(TrainingExperimentNonFinite, ThrowPolicy) {
+  TrainingExperimentOptions options = faulty_training_options();
+  options.non_finite_policy = NonFinitePolicy::kThrow;
+  const auto init = make_initializer("xavier-normal");
+  EXPECT_THROW((void)TrainingExperiment(options).run({init.get()}),
+               NumericalError);
+}
+
+TEST(TrainingExperimentNonFinite, AbortSeriesPolicy) {
+  TrainingExperimentOptions options = faulty_training_options();
+  options.non_finite_policy = NonFinitePolicy::kAbortSeries;
+  const auto init = make_initializer("xavier-normal");
+  const TrainingResult result = TrainingExperiment(options).run({init.get()});
+  EXPECT_TRUE(result.series[0].result.aborted_non_finite);
+  EXPECT_EQ(result.series[0].result.iterations, 2u);
+}
+
+TEST(TrainingExperimentNonFinite, FallbackPolicySuppliesParameterShift) {
+  TrainingExperimentOptions clean = faulty_training_options();
+  clean.gradient_engine = "adjoint";
+  const auto init = make_initializer("xavier-normal");
+  const TrainingResult reference =
+      TrainingExperiment(clean).run({init.get()});
+
+  TrainingExperimentOptions options = faulty_training_options();
+  options.non_finite_policy = NonFinitePolicy::kFallbackEngine;
+  const TrainingResult result = TrainingExperiment(options).run({init.get()});
+  const TrainResult& r = result.series[0].result;
+  EXPECT_FALSE(r.aborted_non_finite);
+  EXPECT_EQ(r.fallback_invocations, 1u);
+  EXPECT_EQ(r.iterations, 5u);
+  const TrainResult& ref = reference.series[0].result;
+  ASSERT_EQ(r.loss_history.size(), ref.loss_history.size());
+  for (std::size_t i = 0; i < ref.loss_history.size(); ++i) {
+    EXPECT_NEAR(r.loss_history[i], ref.loss_history[i], 1e-9);
+  }
+}
+
+TEST(VarianceExperimentNonFinite, NanSampleThrowsNamingTheCell) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2};
+  options.circuits_per_point = 6;
+  options.layers = 2;
+  options.gradient_engine = "nan-at:3:parameter-shift";
+  const auto init = make_initializer("random");
+  try {
+    (void)VarianceExperiment(options).run({init.get()});
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("random"), std::string::npos) << what;
+  }
+}
+
+// --- interrupt / resume round trips -----------------------------------------
+
+VarianceExperimentOptions small_variance_options() {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2, 3};
+  options.circuits_per_point = 6;
+  options.layers = 2;
+  options.seed = 42;
+  return options;
+}
+
+void expect_same_variance(const VarianceResult& a, const VarianceResult& b) {
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    EXPECT_EQ(a.series[s].initializer, b.series[s].initializer);
+    ASSERT_EQ(a.series[s].points.size(), b.series[s].points.size());
+    for (std::size_t i = 0; i < a.series[s].points.size(); ++i) {
+      const VariancePoint& pa = a.series[s].points[i];
+      const VariancePoint& pb = b.series[s].points[i];
+      EXPECT_EQ(pa.qubits, pb.qubits);
+      EXPECT_EQ(pa.variance, pb.variance);  // bit-for-bit, not NEAR
+      EXPECT_EQ(pa.gradient_summary.mean, pb.gradient_summary.mean);
+      EXPECT_EQ(pa.gradient_summary.min, pb.gradient_summary.min);
+      EXPECT_EQ(pa.gradient_summary.max, pb.gradient_summary.max);
+      EXPECT_EQ(pa.gradient_summary.median, pb.gradient_summary.median);
+    }
+    EXPECT_EQ(a.series[s].decay_fit.slope, b.series[s].decay_fit.slope);
+    EXPECT_EQ(a.series[s].decay_fit.intercept,
+              b.series[s].decay_fit.intercept);
+    EXPECT_EQ(a.series[s].decay_fit.r_squared,
+              b.series[s].decay_fit.r_squared);
+  }
+}
+
+TEST(ResumeVariance, InterruptedRunMatchesReferenceBitForBit) {
+  const VarianceExperimentOptions options = small_variance_options();
+  const VarianceExperiment experiment(options);
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const std::vector<const Initializer*> inits = {random.get(), xavier.get()};
+
+  const VarianceResult reference = experiment.run(inits);
+
+  // Interrupt after the first qubit count's cells. (Initializers of one
+  // qubit count share a circuit-sampling pass, so cells complete per
+  // qubit count — cancel at that boundary.)
+  const std::string path = temp_path("resume_variance.ckpt");
+  const std::string fingerprint = options_fingerprint(options);
+  {
+    Checkpoint ckpt(path, fingerprint);
+    CancellationToken token;
+    RunControl control;
+    control.cancel = &token;
+    control.checkpoint = &ckpt;
+    control.progress = [&token](const RunProgress& p) {
+      if (p.completed == 2) token.request_cancel();
+    };
+    EXPECT_THROW((void)experiment.run(inits, control), Cancelled);
+  }
+
+  // The flushed checkpoint on disk is valid and holds the finished cells.
+  EXPECT_EQ(Checkpoint::load(path, fingerprint).cell_count(), 2u);
+
+  // Resume: restored cells + the remaining computed cell reproduce the
+  // uninterrupted reference exactly.
+  Checkpoint resumed = Checkpoint::open(path, fingerprint, /*resume=*/true);
+  RunControl control;
+  control.checkpoint = &resumed;
+  std::size_t restored = 0;
+  control.progress = [&restored](const RunProgress& p) {
+    if (p.from_checkpoint) ++restored;
+  };
+  const VarianceResult result = experiment.run(inits, control);
+  EXPECT_EQ(restored, 2u);
+  expect_same_variance(reference, result);
+}
+
+TEST(ResumeVariance, StaleCheckpointRefused) {
+  const VarianceExperiment experiment(small_variance_options());
+  const auto init = make_initializer("random");
+  Checkpoint stale("", "variance/v1;some=other;options=entirely");
+  RunControl control;
+  control.checkpoint = &stale;
+  EXPECT_THROW((void)experiment.run({init.get()}, control), CheckpointError);
+}
+
+TEST(ResumeVariance, HookFreeControlMatchesPlainRun) {
+  const VarianceExperiment experiment(small_variance_options());
+  const auto init = make_initializer("random");
+  const VarianceResult plain = experiment.run({init.get()});
+  const VarianceResult hooked = experiment.run({init.get()}, RunControl{});
+  expect_same_variance(plain, hooked);
+}
+
+TEST(ResumeTraining, InterruptedRunMatchesReferenceBitForBit) {
+  TrainingExperimentOptions options;
+  options.qubits = 3;
+  options.layers = 2;
+  options.iterations = 6;
+  const TrainingExperiment experiment(options);
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const std::vector<const Initializer*> inits = {random.get(), xavier.get()};
+
+  const TrainingResult reference = experiment.run(inits);
+
+  const std::string path = temp_path("resume_training.ckpt");
+  const std::string fingerprint = options_fingerprint(options);
+  {
+    Checkpoint ckpt(path, fingerprint);
+    CancellationToken token;
+    RunControl control;
+    control.cancel = &token;
+    control.checkpoint = &ckpt;
+    control.progress = [&token](const RunProgress& p) {
+      if (p.completed == 1) token.request_cancel();
+    };
+    EXPECT_THROW((void)experiment.run(inits, control), Cancelled);
+  }
+  EXPECT_EQ(Checkpoint::load(path, fingerprint).cell_count(), 1u);
+
+  Checkpoint resumed = Checkpoint::open(path, fingerprint, /*resume=*/true);
+  RunControl control;
+  control.checkpoint = &resumed;
+  const TrainingResult result = experiment.run(inits, control);
+
+  ASSERT_EQ(result.series.size(), reference.series.size());
+  for (std::size_t s = 0; s < reference.series.size(); ++s) {
+    const TrainResult& a = reference.series[s].result;
+    const TrainResult& b = result.series[s].result;
+    EXPECT_EQ(a.loss_history, b.loss_history);  // exact vector equality
+    EXPECT_EQ(a.gradient_norm_history, b.gradient_norm_history);
+    EXPECT_EQ(a.final_params, b.final_params);
+    EXPECT_EQ(a.initial_loss, b.initial_loss);
+    EXPECT_EQ(a.final_loss, b.final_loss);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.reached_target, b.reached_target);
+    EXPECT_EQ(a.aborted_non_finite, b.aborted_non_finite);
+    EXPECT_EQ(a.hit_deadline, b.hit_deadline);
+    EXPECT_EQ(a.fallback_invocations, b.fallback_invocations);
+  }
+}
+
+TEST(ResumeTraining, StaleCheckpointRefused) {
+  TrainingExperimentOptions options;
+  options.qubits = 3;
+  options.layers = 2;
+  options.iterations = 2;
+  const auto init = make_initializer("random");
+  Checkpoint stale("", "training/v1;different");
+  RunControl control;
+  control.checkpoint = &stale;
+  EXPECT_THROW((void)TrainingExperiment(options).run({init.get()}, control),
+               CheckpointError);
+}
+
+TEST(ResumeSweep, SigintMidSweepFlushesValidCheckpointAndResumes) {
+  TrainingSweepOptions sweep;
+  sweep.base.qubits = 3;
+  sweep.base.layers = 2;
+  sweep.base.iterations = 4;
+  sweep.repetitions = 2;
+  const auto init = make_initializer("xavier-normal");
+  const std::vector<const Initializer*> inits = {init.get()};
+
+  const TrainingSweepResult reference = run_training_sweep(inits, sweep);
+
+  // A real SIGINT, raised from the progress hook after the first of the
+  // two (repetition, initializer) cells, lands in the signal bridge and
+  // cancels the sweep cooperatively.
+  const std::string path = temp_path("resume_sweep.ckpt");
+  const std::string fingerprint = options_fingerprint(sweep);
+  {
+    Checkpoint ckpt(path, fingerprint);
+    CancellationToken token;
+    ScopedSignalCancellation signal_guard(token);
+    RunControl control;
+    control.cancel = &token;
+    control.checkpoint = &ckpt;
+    control.progress = [](const RunProgress& p) {
+      if (p.completed == 1) std::raise(SIGINT);
+    };
+    EXPECT_THROW((void)run_training_sweep(inits, sweep, control), Cancelled);
+    EXPECT_TRUE(token.cancelled());
+  }
+
+  // The interrupted sweep left a loadable checkpoint with the finished
+  // repetition, namespaced per repetition.
+  const Checkpoint on_disk = Checkpoint::load(path, fingerprint);
+  EXPECT_EQ(on_disk.cell_count(), 1u);
+  EXPECT_TRUE(on_disk.has_cell("rep=0/init=xavier-normal"));
+
+  Checkpoint resumed = Checkpoint::open(path, fingerprint, /*resume=*/true);
+  RunControl control;
+  control.checkpoint = &resumed;
+  const TrainingSweepResult result = run_training_sweep(inits, sweep, control);
+
+  ASSERT_EQ(result.series.size(), reference.series.size());
+  for (std::size_t s = 0; s < reference.series.size(); ++s) {
+    EXPECT_EQ(result.series[s].initializer, reference.series[s].initializer);
+    EXPECT_EQ(result.series[s].final_losses,
+              reference.series[s].final_losses);  // exact
+    EXPECT_EQ(result.series[s].final_loss_summary.mean,
+              reference.series[s].final_loss_summary.mean);
+  }
+}
+
+TEST(ResumeSweep, StaleCheckpointRefused) {
+  TrainingSweepOptions sweep;
+  sweep.base.qubits = 3;
+  sweep.base.layers = 2;
+  sweep.base.iterations = 2;
+  sweep.repetitions = 2;
+  const auto init = make_initializer("random");
+  Checkpoint stale("", "training-sweep/v1;different");
+  RunControl control;
+  control.checkpoint = &stale;
+  EXPECT_THROW((void)run_training_sweep({init.get()}, sweep, control),
+               CheckpointError);
+}
+
+TEST(ResumePositionalVariance, InterruptedRunMatchesReference) {
+  const VarianceExperimentOptions options = small_variance_options();
+  const auto init = make_initializer("xavier-normal");
+  const std::vector<double> fractions = {0.0, 0.5, 1.0};
+
+  const PositionalVarianceResult reference =
+      positional_variance(options, *init, fractions);
+
+  const std::string path = temp_path("resume_positional.ckpt");
+  const std::string fingerprint =
+      positional_fingerprint(options, *init, fractions);
+  {
+    Checkpoint ckpt(path, fingerprint);
+    CancellationToken token;
+    RunControl control;
+    control.cancel = &token;
+    control.checkpoint = &ckpt;
+    control.progress = [&token](const RunProgress& p) {
+      if (p.completed == 1) token.request_cancel();
+    };
+    EXPECT_THROW(
+        (void)positional_variance(options, *init, fractions, control),
+        Cancelled);
+  }
+  EXPECT_EQ(Checkpoint::load(path, fingerprint).cell_count(), 1u);
+
+  Checkpoint resumed = Checkpoint::open(path, fingerprint, /*resume=*/true);
+  RunControl control;
+  control.checkpoint = &resumed;
+  const PositionalVarianceResult result =
+      positional_variance(options, *init, fractions, control);
+
+  EXPECT_EQ(result.fractions, reference.fractions);
+  EXPECT_EQ(result.qubit_counts, reference.qubit_counts);
+  ASSERT_EQ(result.variances.size(), reference.variances.size());
+  for (std::size_t f = 0; f < reference.variances.size(); ++f) {
+    EXPECT_EQ(result.variances[f], reference.variances[f]);  // exact
+  }
+}
+
+TEST(Fingerprints, DifferOnResultShapingOptionsOnly) {
+  VarianceExperimentOptions a = small_variance_options();
+  VarianceExperimentOptions b = a;
+  b.seed = 43;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  b = a;
+  b.layers = 3;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  // keep_samples does not shape the statistics: same fingerprint, so a
+  // checkpoint can be resumed with sample retention toggled.
+  b = a;
+  b.keep_samples = !a.keep_samples;
+  EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+
+  TrainingExperimentOptions t;
+  TrainingExperimentOptions u = t;
+  u.learning_rate = 0.05;
+  EXPECT_NE(options_fingerprint(t), options_fingerprint(u));
+  // The deadline changes when a run stops, not what its cells contain.
+  u = t;
+  u.deadline_seconds = 123.0;
+  EXPECT_EQ(options_fingerprint(t), options_fingerprint(u));
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -1,0 +1,287 @@
+// Tests for the resilient-run infrastructure: atomic writes, cooperative
+// cancellation (including the signal bridge), and the checkpoint store.
+#include "qbarren/common/run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "qbarren/common/checkpoint.hpp"
+
+namespace qbarren {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicWrite, CreatesAndOverwrites) {
+  const std::string path = temp_path("atomic_create.txt");
+  fs::remove(path);
+
+  write_file_atomic(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+
+  write_file_atomic(path, "second, longer content\n");
+  EXPECT_EQ(read_file(path), "second, longer content\n");
+
+  // A shorter rewrite must not leave a tail of the longer old content.
+  write_file_atomic(path, "x");
+  EXPECT_EQ(read_file(path), "x");
+}
+
+TEST(AtomicWrite, LeavesNoTemporaryBehind) {
+  const std::string dir = temp_path("atomic_dir");
+  fs::remove_all(dir);
+  fs::create_directory(dir);
+  write_file_atomic(dir + "/out.txt", "payload");
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename(), "out.txt");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicWrite, FailureDoesNotTouchDestination) {
+  EXPECT_THROW(write_file_atomic("/no-such-dir-qbarren/x.txt", "data"),
+               Error);
+  EXPECT_FALSE(fs::exists("/no-such-dir-qbarren/x.txt"));
+}
+
+TEST(CancellationToken, FlagAndThrow) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled("unit of work"));
+
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.throw_if_cancelled("q=8/init=random");
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("q=8/init=random"),
+              std::string::npos);
+  }
+}
+
+TEST(ScopedSignalCancellation, SigintRequestsCancel) {
+  CancellationToken token;
+  {
+    ScopedSignalCancellation guard(token);
+    ASSERT_EQ(std::raise(SIGINT), 0);  // we survive: handler, not default
+    EXPECT_TRUE(token.cancelled());
+  }
+}
+
+TEST(ScopedSignalCancellation, SigtermRequestsCancel) {
+  CancellationToken token;
+  {
+    ScopedSignalCancellation guard(token);
+    ASSERT_EQ(std::raise(SIGTERM), 0);
+    EXPECT_TRUE(token.cancelled());
+  }
+}
+
+TEST(ScopedSignalCancellation, SecondInstanceRejectedUntilFirstDies) {
+  CancellationToken a;
+  CancellationToken b;
+  {
+    ScopedSignalCancellation guard(a);
+    EXPECT_THROW(ScopedSignalCancellation{b}, InvalidArgument);
+  }
+  // The slot is free again after destruction.
+  ScopedSignalCancellation guard(b);
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_FALSE(a.cancelled());
+}
+
+TEST(CheckpointCell, TypedLookupsThrowCheckpointError) {
+  CheckpointCell cell;
+  cell.scalars["loss"] = 0.25;
+  cell.vectors["history"] = {1.0, 2.0};
+  EXPECT_EQ(cell.scalar("loss"), 0.25);
+  EXPECT_EQ(cell.vector("history").size(), 2u);
+  EXPECT_THROW((void)cell.scalar("missing"), CheckpointError);
+  EXPECT_THROW((void)cell.vector("missing"), CheckpointError);
+}
+
+TEST(Checkpoint, ValidatesFingerprintAndKeys) {
+  EXPECT_THROW(Checkpoint("", ""), InvalidArgument);
+  EXPECT_THROW(Checkpoint("", "two\nlines"), InvalidArgument);
+
+  Checkpoint ckpt("", "fp");
+  EXPECT_THROW(ckpt.put_cell("", CheckpointCell{}), InvalidArgument);
+  EXPECT_THROW(ckpt.put_cell("a\nb", CheckpointCell{}), InvalidArgument);
+  CheckpointCell bad_name;
+  bad_name.scalars["no spaces allowed"] = 1.0;
+  EXPECT_THROW(ckpt.put_cell("cell", bad_name), InvalidArgument);
+}
+
+TEST(Checkpoint, RoundTripsDoublesBitForBit) {
+  const std::string path = temp_path("ckpt_roundtrip.ckpt");
+  fs::remove(path);
+
+  const std::vector<double> tricky = {
+      0.1,
+      -0.0,
+      3.141592653589793,
+      1e-300,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -1.0 / 3.0,
+  };
+  Checkpoint ckpt(path, "experiment/v1;seed=42");
+  CheckpointCell cell;
+  cell.scalars["variance"] = 0.123456789012345678;
+  cell.vectors["samples"] = tricky;
+  ckpt.put_cell("q=8/init=xavier normal", cell);  // keys may contain spaces
+  ckpt.put_cell("q=8/init=random", CheckpointCell{});
+  ckpt.flush();
+
+  const Checkpoint loaded = Checkpoint::load(path, "experiment/v1;seed=42");
+  EXPECT_EQ(loaded.cell_count(), 2u);
+  ASSERT_TRUE(loaded.has_cell("q=8/init=xavier normal"));
+  const CheckpointCell* got = loaded.find_cell("q=8/init=xavier normal");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->scalar("variance"), 0.123456789012345678);
+  const std::vector<double>& back = got->vector("samples");
+  ASSERT_EQ(back.size(), tricky.size());
+  for (std::size_t i = 0; i < tricky.size(); ++i) {
+    EXPECT_EQ(back[i], tricky[i]) << "index " << i;
+  }
+  EXPECT_TRUE(std::signbit(back[1]));  // -0.0 keeps its sign
+  EXPECT_EQ(loaded.find_cell("q=9/init=random"), nullptr);
+}
+
+TEST(Checkpoint, StaleFingerprintRejected) {
+  const std::string path = temp_path("ckpt_stale.ckpt");
+  Checkpoint ckpt(path, "options-A");
+  ckpt.put_cell("cell", CheckpointCell{});
+  ckpt.flush();
+  try {
+    (void)Checkpoint::load(path, "options-B");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("options-A"), std::string::npos);
+    EXPECT_NE(what.find("options-B"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  EXPECT_THROW((void)Checkpoint::load(temp_path("no_such.ckpt"), "fp"),
+               CheckpointError);
+}
+
+TEST(Checkpoint, WrongVersionRejected) {
+  const std::string path = temp_path("ckpt_version.ckpt");
+  write_file_atomic(path, "qbarren-checkpoint 999\nfingerprint fp\nend 0\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+  write_file_atomic(path, "not-a-checkpoint\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  const std::string path = temp_path("ckpt_truncated.ckpt");
+  Checkpoint ckpt(path, "fp");
+  CheckpointCell cell;
+  cell.scalars["x"] = 1.5;
+  ckpt.put_cell("a", cell);
+  ckpt.put_cell("b", cell);
+  ckpt.flush();
+
+  // Drop the trailing "end <count>" line: simulates a torn write.
+  std::string bytes = ckpt.serialize();
+  bytes.erase(bytes.rfind("end "));
+  write_file_atomic(path, bytes);
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+
+  // A wrong cell count is also caught.
+  bytes = ckpt.serialize();
+  const auto pos = bytes.rfind("end 2");
+  ASSERT_NE(pos, std::string::npos);
+  bytes.replace(pos, 5, "end 7");
+  write_file_atomic(path, bytes);
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+}
+
+TEST(Checkpoint, CorruptLinesRejected) {
+  const std::string path = temp_path("ckpt_corrupt.ckpt");
+  const std::string header = "qbarren-checkpoint 1\nfingerprint fp\n";
+  write_file_atomic(path, header + "scalar x 1.0\nend 0\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+  write_file_atomic(path, header + "cell a\nscalar x oops\nendcell\nend 1\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+  write_file_atomic(path, header + "cell a\nbogus-tag\nendcell\nend 1\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+  write_file_atomic(path, header + "cell a\nend 0\n");
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+}
+
+TEST(Checkpoint, OpenResumeSemantics) {
+  const std::string path = temp_path("ckpt_open.ckpt");
+  fs::remove(path);
+
+  // resume=true with no file: a fresh store, not an error.
+  Checkpoint fresh = Checkpoint::open(path, "fp", /*resume=*/true);
+  EXPECT_EQ(fresh.cell_count(), 0u);
+  fresh.put_cell("done", CheckpointCell{});
+  fresh.flush();
+
+  // resume=true with a file: cells come back.
+  const Checkpoint resumed = Checkpoint::open(path, "fp", /*resume=*/true);
+  EXPECT_EQ(resumed.cell_count(), 1u);
+  EXPECT_TRUE(resumed.has_cell("done"));
+
+  // resume=false ignores the file and starts empty.
+  const Checkpoint restarted = Checkpoint::open(path, "fp", /*resume=*/false);
+  EXPECT_EQ(restarted.cell_count(), 0u);
+
+  // resume=true against a stale file still validates the fingerprint.
+  EXPECT_THROW((void)Checkpoint::open(path, "other-fp", /*resume=*/true),
+               CheckpointError);
+}
+
+TEST(Checkpoint, InMemoryStoreNeverTouchesDisk) {
+  Checkpoint ckpt("", "fp");
+  CheckpointCell cell;
+  cell.scalars["x"] = 2.0;
+  ckpt.put_cell("a", cell);
+  EXPECT_NO_THROW(ckpt.flush());  // no path, no I/O
+  EXPECT_TRUE(ckpt.has_cell("a"));
+  EXPECT_EQ(ckpt.path(), "");
+}
+
+TEST(Checkpoint, SerializeIsDeterministic) {
+  Checkpoint a("", "fp");
+  Checkpoint b("", "fp");
+  CheckpointCell cell;
+  cell.scalars["y"] = 1.0;
+  cell.scalars["x"] = 2.0;
+  // Insertion order differs; std::map ordering makes the bytes identical.
+  a.put_cell("k1", cell);
+  a.put_cell("k0", cell);
+  b.put_cell("k0", cell);
+  b.put_cell("k1", cell);
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -28,6 +28,18 @@ TEST(TrainingExperiment, ValidatesOptions) {
   bad = small_options();
   bad.learning_rate = 0.0;
   EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+  bad = small_options();
+  bad.iterations = 0;
+  EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+  bad = small_options();
+  bad.deadline_seconds = -1.0;
+  EXPECT_THROW(TrainingExperiment{bad}, InvalidArgument);
+  bad = small_options();
+  bad.optimizer = "no-such-optimizer";
+  EXPECT_THROW(TrainingExperiment{bad}, NotFound);
+  bad = small_options();
+  bad.gradient_engine = "no-such-engine";
+  EXPECT_THROW(TrainingExperiment{bad}, NotFound);
 }
 
 TEST(TrainingExperiment, RejectsEmptyOrNullInitializers) {

@@ -32,6 +32,14 @@ TEST(VarianceExperiment, ValidatesOptions) {
   bad = small_options();
   bad.layers = 0;
   EXPECT_THROW(VarianceExperiment{bad}, InvalidArgument);
+
+  bad = small_options();
+  bad.qubit_counts = {2, 0, 4};
+  EXPECT_THROW(VarianceExperiment{bad}, InvalidArgument);
+
+  bad = small_options();
+  bad.gradient_engine = "no-such-engine";
+  EXPECT_THROW(VarianceExperiment{bad}, NotFound);
 }
 
 TEST(VarianceExperiment, RejectsEmptyOrNullInitializers) {
