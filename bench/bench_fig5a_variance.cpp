@@ -10,8 +10,11 @@
 // repo's calibrated default (see bench_ablation_depth). The printed
 // variance table is the Fig 5a data; the decay table's slopes are the
 // "variance decay rates" of §VI-A.
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "qbarren/bp/variance.hpp"
+#include "qbarren/common/executor.hpp"
 #include "qbarren/init/registry.hpp"
 
 namespace {
@@ -53,6 +56,48 @@ void bm_variance_cell(benchmark::State& state) {
 }
 BENCHMARK(bm_variance_cell)->Arg(2)->Arg(6)->Arg(10)
     ->Unit(benchmark::kMillisecond);
+
+void bm_variance_jobs_scaling(benchmark::State& state) {
+  // Wall-clock of the same reduced grid at --jobs 1 vs --jobs <hardware>.
+  // The cells are embarrassingly parallel, so the ratio approaches the
+  // core count on unloaded multi-core machines; the results themselves
+  // are byte-identical at both job counts (see test_resilience).
+  using namespace qbarren;
+  using Clock = std::chrono::steady_clock;
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2, 4, 6};
+  options.circuits_per_point = 20;
+  options.layers = 50;
+  const VarianceExperiment experiment(options);
+  const auto init = make_initializer("random");
+  const std::size_t hw = Executor::resolve_jobs(0);
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  for (auto _ : state) {
+    RunControl control;
+    control.jobs = 1;
+    const auto t0 = Clock::now();
+    benchmark::DoNotOptimize(
+        experiment.run({init.get()}, control).series[0].points[0].variance);
+    const auto t1 = Clock::now();
+    control.jobs = hw;
+    benchmark::DoNotOptimize(
+        experiment.run({init.get()}, control).series[0].points[0].variance);
+    const auto t2 = Clock::now();
+    serial_seconds += std::chrono::duration<double>(t1 - t0).count();
+    parallel_seconds += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["jobs"] = static_cast<double>(hw);
+  state.counters["serial_seconds"] = serial_seconds / n;
+  state.counters["parallel_seconds"] = parallel_seconds / n;
+  state.counters["scaling_ratio"] =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  state.SetLabel("q={2,4,6}, 20 circuits, depth 50, jobs 1 vs " +
+                 std::to_string(hw));
+}
+BENCHMARK(bm_variance_jobs_scaling)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

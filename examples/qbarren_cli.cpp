@@ -17,6 +17,21 @@
 // run cooperatively after the cell in flight, and --resume restores the
 // completed cells and finishes the rest, reproducing an uninterrupted run
 // bit-for-bit. A checkpoint written under different options is rejected.
+//
+// The same subcommands run their cells on a fault-isolated thread pool:
+//   --jobs N               worker threads (default: hardware concurrency;
+//                          results are byte-identical at any N)
+//   --cell-timeout-sec S   soft per-cell deadline; an overrunning cell is
+//                          cancelled and reported as a timeout failure
+//   --max-cell-failures K  tolerate up to K failed cells (default 0 =
+//                          fail fast on the first); failed cells are
+//                          listed on stderr and in the result JSON
+//   --cell-retries R       extra attempts for non-finite cells, retried
+//                          with the parameter-shift fallback engine
+//   --engine NAME          gradient engine for variance/train/sweep
+//                          (adjoint, parameter-shift, finite-diff, spsa;
+//                          decorators like nan-at:<k>:<engine> inject
+//                          faults for testing the failure paths)
 // Run with no arguments for this help text.
 #include <cstdio>
 #include <exception>
@@ -31,6 +46,7 @@
 #include "qbarren/bp/variance.hpp"
 #include "qbarren/common/checkpoint.hpp"
 #include "qbarren/common/cli.hpp"
+#include "qbarren/common/executor.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/common/version.hpp"
 #include "qbarren/init/registry.hpp"
@@ -79,8 +95,27 @@ struct ResilientRun {
                    p.cell.c_str(),
                    p.from_checkpoint ? " (from checkpoint)" : "");
     };
+
+    // Parallel execution: 0 jobs = hardware concurrency. The job count
+    // never changes results, only wall-clock time.
+    control.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+    control.cell_timeout_seconds = args.get_double(
+        "cell-timeout-sec", std::numeric_limits<double>::infinity());
+    control.max_cell_failures =
+        static_cast<std::size_t>(args.get_int("max-cell-failures", 0));
+    control.max_cell_attempts =
+        1 + static_cast<std::size_t>(args.get_int("cell-retries", 0));
   }
 };
+
+/// Per-run failure summary on stderr (failed cell keys + error class);
+/// empty when every cell succeeded. The same records land in the result
+/// JSON's "failures" array.
+void report_failures(const std::vector<CellFailure>& failures) {
+  if (failures.empty()) return;
+  std::fprintf(stderr, "%zu cell(s) failed within the failure budget:\n%s",
+               failures.size(), failure_summary(failures).c_str());
+}
 
 int cmd_variance(const CliArgs& args) {
   VarianceExperimentOptions options;
@@ -93,11 +128,14 @@ int cmd_variance(const CliArgs& args) {
   options.layers = static_cast<std::size_t>(args.get_int("layers", 50));
   options.seed = args.get_uint("seed", 42);
   options.cost = cost_kind_from_name(args.get_string("cost", "global"));
+  options.gradient_engine =
+      args.get_string("engine", options.gradient_engine);
 
   ResilientRun resilient(args, options_fingerprint(options));
   const VarianceResult result =
       VarianceExperiment(options).run_paper_set(FanMode::kLayerTensor,
                                                 resilient.control);
+  report_failures(result.failures);
   std::printf("%s\n%s", result.variance_table().to_ascii().c_str(),
               result.decay_table().to_ascii().c_str());
   if (args.has("json")) {
@@ -117,6 +155,8 @@ TrainingExperimentOptions training_options_from(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("iterations", 50));
   options.learning_rate = args.get_double("lr", 0.1);
   options.seed = args.get_uint("seed", 7);
+  options.gradient_engine =
+      args.get_string("engine", options.gradient_engine);
   options.deadline_seconds = args.get_double(
       "deadline-sec", std::numeric_limits<double>::infinity());
   const std::string policy = args.get_string("nonfinite", "throw");
@@ -138,6 +178,7 @@ int cmd_train(const CliArgs& args) {
   const TrainingResult result =
       TrainingExperiment(options).run_paper_set(FanMode::kLayerTensor,
                                                 resilient.control);
+  report_failures(result.failures);
   std::printf("%s\n%s", result.loss_table(5).to_ascii().c_str(),
               result.summary_table().to_ascii().c_str());
   if (args.has("json")) {
@@ -157,6 +198,7 @@ int cmd_sweep(const CliArgs& args) {
   const auto owned = paper_initializers();
   const TrainingSweepResult result =
       run_training_sweep(borrow(owned), options, resilient.control);
+  report_failures(result.failures);
   std::printf("%s", result.summary_table().to_ascii().c_str());
   return 0;
 }
@@ -221,6 +263,9 @@ void print_help() {
       "lightcone\n"
       "long runs accept --checkpoint <file> [--resume]; train/sweep also\n"
       "accept --deadline-sec <s> and --nonfinite throw|abort|fallback.\n"
+      "variance/train/sweep run cells in parallel: --jobs <n> (0 = all\n"
+      "cores), --cell-timeout-sec <s>, --max-cell-failures <k>,\n"
+      "--cell-retries <r>; results are identical at any --jobs value.\n"
       "see the header of examples/qbarren_cli.cpp for per-command "
       "options.\n",
       kVersionString);

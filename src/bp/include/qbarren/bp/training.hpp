@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qbarren/bp/cost_kind.hpp"
+#include "qbarren/common/executor.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/common/stats.hpp"
 #include "qbarren/common/table.hpp"
@@ -53,6 +54,10 @@ struct TrainingSeries {
 struct TrainingResult {
   std::vector<TrainingSeries> series;
   TrainingExperimentOptions options;
+  /// Cells that failed within the run's failure budget (sorted by cell
+  /// key; empty on a clean run). A failed series keeps its initializer
+  /// name and carries a NaN final loss with empty histories.
+  std::vector<CellFailure> failures;
 
   /// Loss-vs-iteration table (Fig 5b/5c data): one row per recorded
   /// iteration (subsampled by `stride`), one column per initializer.
@@ -115,6 +120,10 @@ struct TrainingSweepSeries {
 struct TrainingSweepResult {
   std::vector<TrainingSweepSeries> series;
   TrainingSweepOptions options;
+  /// Cells that failed within the run's failure budget (sorted by cell
+  /// key); a failed (repetition, initializer) cell leaves NaN in that
+  /// repetition's slot of final_losses.
+  std::vector<CellFailure> failures;
 
   /// initializer, mean/min/max final loss, stddev across seeds.
   [[nodiscard]] Table summary_table() const;

@@ -19,6 +19,7 @@
 
 #include "qbarren/bp/cost_kind.hpp"
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/common/executor.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/common/stats.hpp"
 #include "qbarren/common/table.hpp"
@@ -88,6 +89,10 @@ struct VarianceSeries {
 struct VarianceResult {
   std::vector<VarianceSeries> series;
   VarianceExperimentOptions options;
+  /// Cells that failed within the run's failure budget (sorted by cell
+  /// key; empty on a clean run). A failed cell's point keeps its qubit
+  /// count but carries NaN statistics.
+  std::vector<CellFailure> failures;
 
   /// Fig 5a data: one row per qubit count, one column per initializer,
   /// cells = gradient variance (scientific notation).
@@ -136,6 +141,9 @@ struct PositionalVarianceResult {
   std::vector<std::size_t> qubit_counts;
   /// variances[f][q] for fraction index f and qubit-count index q.
   std::vector<std::vector<double>> variances;
+  /// Cells that failed within the run's failure budget (sorted by cell
+  /// key); the failed qubit count's column holds NaN.
+  std::vector<CellFailure> failures;
 
   [[nodiscard]] Table table() const;
 };

@@ -35,9 +35,14 @@ JsonValue to_json(const VarianceResult& result) {
   options.set("gradient_engine", result.options.gradient_engine);
   root.set("options", std::move(options));
 
+  // Improvements are only well-defined against a healthy random baseline;
+  // a failure-budget run can leave the random series degenerate (NaN
+  // variances, ~0 slope), in which case the field is omitted.
   const bool have_random = [&] {
     for (const VarianceSeries& s : result.series) {
-      if (s.initializer == "random") return true;
+      if (s.initializer == "random") {
+        return std::abs(s.decay_fit.slope) > 1e-12;
+      }
     }
     return false;
   }();
@@ -65,6 +70,7 @@ JsonValue to_json(const VarianceResult& result) {
     series.push_back(std::move(entry));
   }
   root.set("series", std::move(series));
+  root.set("failures", failures_to_json(result.failures));
   return root;
 }
 
@@ -97,6 +103,7 @@ JsonValue to_json(const TrainingResult& result) {
     series.push_back(std::move(entry));
   }
   root.set("series", std::move(series));
+  root.set("failures", failures_to_json(result.failures));
   return root;
 }
 

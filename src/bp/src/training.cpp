@@ -1,6 +1,8 @@
 #include "qbarren/bp/training.hpp"
 
 #include <cstdio>
+#include <limits>
+#include <mutex>
 
 #include "qbarren/circuit/ansatz.hpp"
 #include "qbarren/common/checkpoint.hpp"
@@ -50,6 +52,66 @@ TrainResult train_result_from_cell(const CheckpointCell& cell) {
   result.fallback_invocations =
       static_cast<std::size_t>(cell.scalar("fallback_invocations"));
   return result;
+}
+
+/// Placeholder for a cell that failed within the failure budget: the
+/// initializer keeps its series slot with NaN losses and no history.
+TrainResult failed_train_result() {
+  TrainResult result;
+  result.initial_loss = std::numeric_limits<double>::quiet_NaN();
+  result.final_loss = std::numeric_limits<double>::quiet_NaN();
+  return result;
+}
+
+ExecutorOptions executor_options_from(const RunControl& control) {
+  ExecutorOptions options;
+  options.jobs = control.jobs;
+  options.cell_timeout_seconds = control.cell_timeout_seconds;
+  options.max_failures = control.max_cell_failures;
+  options.max_attempts = control.max_cell_attempts;
+  options.cancel = control.cancel;
+  return options;
+}
+
+/// Trains one (options, initializer) cell. Engine, fallback, and
+/// optimizer are fresh per call so stateful engines (fault injection,
+/// SPSA) stay cell-deterministic under any job count. On a retry
+/// (ctx.attempt > 0) a kThrow policy is escalated to kFallbackEngine with
+/// the parameter-shift fallback, so a cell poisoned by a transient
+/// non-finite gradient recovers instead of failing identically again.
+TrainResult run_training_cell(const TrainingExperimentOptions& options,
+                              const CostFunction& cost,
+                              const Initializer& initializer, std::size_t t,
+                              const CellContext& ctx) {
+  const auto engine = make_gradient_engine(options.gradient_engine);
+  NonFinitePolicy policy = options.non_finite_policy;
+  if (ctx.attempt > 0 && policy == NonFinitePolicy::kThrow) {
+    policy = NonFinitePolicy::kFallbackEngine;
+  }
+  std::unique_ptr<GradientEngine> fallback;
+  if (policy == NonFinitePolicy::kFallbackEngine) {
+    fallback = std::make_unique<ParameterShiftEngine>();
+  }
+
+  TrainOptions train_options;
+  train_options.max_iterations = options.iterations;
+  train_options.non_finite_policy = policy;
+  train_options.fallback_engine = fallback.get();
+  train_options.deadline_seconds = options.deadline_seconds;
+  // The cell token observes both the per-cell soft deadline and (via the
+  // executor's watchdog broadcast) run-wide cancellation.
+  train_options.cancel = ctx.cell_token;
+
+  // Each series draws its parameters from an independent child stream of
+  // the root seed, so cells are order-independent: restoring some from a
+  // checkpoint or training them concurrently cannot shift the randomness
+  // of the others.
+  Rng param_rng = Rng(options.seed).child(t);
+  std::vector<double> params =
+      initializer.initialize(cost.circuit(), param_rng);
+  const auto optimizer =
+      make_optimizer(options.optimizer, options.learning_rate);
+  return train(cost, *engine, *optimizer, std::move(params), train_options);
 }
 
 }  // namespace
@@ -115,58 +177,57 @@ TrainingResult TrainingExperiment::run(
       training_ansatz(options_.qubits, ansatz_options));
   const CostFunction cost(circuit,
                           make_cost_observable(options_.cost, options_.qubits));
-  const auto engine = make_gradient_engine(options_.gradient_engine);
-  std::unique_ptr<GradientEngine> fallback;
-  if (options_.non_finite_policy == NonFinitePolicy::kFallbackEngine) {
-    fallback = std::make_unique<ParameterShiftEngine>();
-  }
-
-  TrainOptions train_options;
-  train_options.max_iterations = options_.iterations;
-  train_options.non_finite_policy = options_.non_finite_policy;
-  train_options.fallback_engine = fallback.get();
-  train_options.deadline_seconds = options_.deadline_seconds;
-  train_options.cancel = control.cancel;
-
-  const Rng root(options_.seed);
 
   TrainingResult result;
   result.options = options_;
+  result.series.resize(initializers.size());
+  for (std::size_t t = 0; t < initializers.size(); ++t) {
+    result.series[t].initializer = initializers[t]->name();
+    result.series[t].result = failed_train_result();
+  }
+
+  const std::size_t total_cells = initializers.size();
+  std::size_t completed_cells = 0;
+  std::mutex deposit_mu;  // guards result/checkpoint/progress deposits
+
+  std::vector<CellTask> tasks;
   for (std::size_t t = 0; t < initializers.size(); ++t) {
     const std::string key =
         control.cell_prefix + "init=" + initializers[t]->name();
-    TrainingSeries series;
-    series.initializer = initializers[t]->name();
+    if (checkpoint != nullptr) {
+      if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
+        result.series[t].result = train_result_from_cell(*cell);
+        if (control.progress) {
+          control.progress(
+              RunProgress{key, ++completed_cells, total_cells, true});
+        }
+        continue;
+      }
+    }
 
-    const CheckpointCell* cell =
-        checkpoint != nullptr ? checkpoint->find_cell(key) : nullptr;
-    if (cell != nullptr) {
-      series.result = train_result_from_cell(*cell);
-    } else {
-      if (control.cancel != nullptr) {
-        control.cancel->throw_if_cancelled("training experiment at " + key);
-      }
-      // Each series draws its parameters from an independent child stream
-      // of the root seed, so skipping restored series cannot shift the
-      // randomness of the ones still to be trained.
-      Rng param_rng = root.child(t);
-      std::vector<double> params =
-          initializers[t]->initialize(*circuit, param_rng);
-      const auto optimizer =
-          make_optimizer(options_.optimizer, options_.learning_rate);
-      series.result =
-          train(cost, *engine, *optimizer, std::move(params), train_options);
-      if (checkpoint != nullptr) {
-        checkpoint->put_cell(key, cell_from_train_result(series.result));
-        checkpoint->flush();
-      }
-    }
-    result.series.push_back(std::move(series));
-    if (control.progress) {
-      control.progress(
-          RunProgress{key, t + 1, initializers.size(), cell != nullptr});
-    }
+    tasks.push_back(CellTask{
+        key, [this, &control, &cost, &result, &deposit_mu, &completed_cells,
+              total_cells, checkpoint, initializer = initializers[t], t,
+              key](CellContext& ctx) {
+          ctx.throw_if_cancelled("training experiment at " + key);
+          TrainResult trained =
+              run_training_cell(options_, cost, *initializer, t, ctx);
+
+          std::lock_guard<std::mutex> lock(deposit_mu);
+          if (checkpoint != nullptr) {
+            checkpoint->record_cell(key, cell_from_train_result(trained));
+          }
+          result.series[t].result = std::move(trained);
+          if (control.progress) {
+            control.progress(
+                RunProgress{key, ++completed_cells, total_cells, false});
+          }
+        }});
   }
+
+  const Executor executor(executor_options_from(control));
+  ExecutorReport report = executor.run(std::move(tasks));
+  result.failures = std::move(report.failures);
   return result;
 }
 
@@ -250,38 +311,82 @@ TrainingSweepResult run_training_sweep(
         "sweep's options");
   }
 
+  // Validate the base options once (throws exactly what per-repetition
+  // construction used to).
+  (void)TrainingExperiment(options.base);
+
+  // All repetitions share one circuit and cost (only the seed differs);
+  // both are immutable and safe to evaluate from concurrent cells.
+  TrainingAnsatzOptions ansatz_options;
+  ansatz_options.layers = options.base.layers;
+  auto circuit = std::make_shared<const Circuit>(
+      training_ansatz(options.base.qubits, ansatz_options));
+  const CostFunction cost(
+      circuit, make_cost_observable(options.base.cost, options.base.qubits));
+
   TrainingSweepResult result;
   result.options = options;
   result.series.resize(initializers.size());
   for (std::size_t t = 0; t < initializers.size(); ++t) {
     result.series[t].initializer = initializers[t]->name();
+    result.series[t].final_losses.assign(
+        options.repetitions, std::numeric_limits<double>::quiet_NaN());
   }
 
   const std::size_t total_cells = options.repetitions * initializers.size();
+  std::size_t completed_cells = 0;
+  std::mutex deposit_mu;
+
+  // The whole (repetition x initializer) grid becomes one task list, so
+  // parallelism spans repetitions, not just initializers. Cells are
+  // namespaced per repetition ("rep=<r>/init=<name>"), matching the keys
+  // the serial per-repetition runner wrote.
+  std::vector<CellTask> tasks;
   for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
     TrainingExperimentOptions rep_options = options.base;
     rep_options.seed = splitmix64(options.base.seed ^ (rep + 1));
-    // Namespace the inner cells per repetition; the inner run validates
-    // nothing itself (non-empty prefix) because this sweep's fingerprint
-    // was checked above. Progress is re-based to sweep-wide counts.
-    RunControl inner = control;
-    inner.cell_prefix =
-        control.cell_prefix + "rep=" + std::to_string(rep) + "/";
-    if (control.progress) {
-      const std::size_t base_count = rep * initializers.size();
-      inner.progress = [&control, base_count,
-                        total_cells](const RunProgress& p) {
-        control.progress(RunProgress{p.cell, base_count + p.completed,
-                                     total_cells, p.from_checkpoint});
-      };
-    }
-    const TrainingResult run =
-        TrainingExperiment(rep_options).run(initializers, inner);
     for (std::size_t t = 0; t < initializers.size(); ++t) {
-      result.series[t].final_losses.push_back(
-          run.series[t].result.final_loss);
+      const std::string key = control.cell_prefix + "rep=" +
+                              std::to_string(rep) +
+                              "/init=" + initializers[t]->name();
+      if (control.checkpoint != nullptr) {
+        if (const CheckpointCell* cell = control.checkpoint->find_cell(key)) {
+          result.series[t].final_losses[rep] =
+              train_result_from_cell(*cell).final_loss;
+          if (control.progress) {
+            control.progress(
+                RunProgress{key, ++completed_cells, total_cells, true});
+          }
+          continue;
+        }
+      }
+
+      tasks.push_back(CellTask{
+          key, [&control, &cost, &result, &deposit_mu, &completed_cells,
+                total_cells, rep_options, initializer = initializers[t], rep,
+                t, key](CellContext& ctx) {
+            ctx.throw_if_cancelled("training sweep at " + key);
+            const TrainResult trained =
+                run_training_cell(rep_options, cost, *initializer, t, ctx);
+
+            std::lock_guard<std::mutex> lock(deposit_mu);
+            if (control.checkpoint != nullptr) {
+              control.checkpoint->record_cell(
+                  key, cell_from_train_result(trained));
+            }
+            result.series[t].final_losses[rep] = trained.final_loss;
+            if (control.progress) {
+              control.progress(
+                  RunProgress{key, ++completed_cells, total_cells, false});
+            }
+          }});
     }
   }
+
+  const Executor executor(executor_options_from(control));
+  ExecutorReport report = executor.run(std::move(tasks));
+  result.failures = std::move(report.failures);
+
   for (TrainingSweepSeries& s : result.series) {
     s.final_loss_summary = summarize(s.final_losses);
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <mutex>
 
 #include "qbarren/circuit/ansatz.hpp"
 #include "qbarren/common/checkpoint.hpp"
@@ -32,6 +34,25 @@ void report_cell(const RunControl& control, std::string cell,
     control.progress(
         RunProgress{std::move(cell), completed, total, from_checkpoint});
   }
+}
+
+ExecutorOptions executor_options_from(const RunControl& control) {
+  ExecutorOptions options;
+  options.jobs = control.jobs;
+  options.cell_timeout_seconds = control.cell_timeout_seconds;
+  options.max_failures = control.max_cell_failures;
+  options.max_attempts = control.max_cell_attempts;
+  options.cancel = control.cancel;
+  return options;
+}
+
+/// NaN-filled summary for a failed cell: serializes as null everywhere
+/// instead of misleading zeros.
+Summary nan_summary() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Summary s;
+  s.mean = s.variance = s.stddev = s.min = s.max = s.median = nan;
+  return s;
 }
 
 }  // namespace
@@ -95,37 +116,54 @@ VarianceResult VarianceExperiment::run(
         "this experiment's options");
   }
 
-  const auto engine = make_gradient_engine(options_.gradient_engine);
   const Rng root(options_.seed);
 
   VarianceResult result;
   result.options = options_;
   result.series.resize(initializers.size());
+  // Pre-size every point so cells can deposit by (qi, t) index from any
+  // worker thread; failed cells keep their NaN statistics.
   for (std::size_t t = 0; t < initializers.size(); ++t) {
     result.series[t].initializer = initializers[t]->name();
+    result.series[t].points.resize(options_.qubit_counts.size());
+    for (std::size_t qi = 0; qi < options_.qubit_counts.size(); ++qi) {
+      result.series[t].points[qi].qubits = options_.qubit_counts[qi];
+      result.series[t].points[qi].gradient_summary = nan_summary();
+      result.series[t].points[qi].variance =
+          std::numeric_limits<double>::quiet_NaN();
+    }
   }
 
   const std::size_t total_cells =
       options_.qubit_counts.size() * initializers.size();
   std::size_t completed_cells = 0;
+  std::mutex deposit_mu;  // guards result/checkpoint/progress deposits
+
+  const auto deposit = [&](std::size_t qi, std::size_t t,
+                           const std::vector<double>& samples) {
+    VariancePoint& point = result.series[t].points[qi];
+    point.gradient_summary = summarize(samples);
+    point.variance = point.gradient_summary.variance;
+    if (options_.keep_samples) {
+      point.samples = samples;
+    }
+  };
 
   // Sample gradients. Circuit structure streams depend on (q, i) only so
   // every initializer sees the same 200 random circuits per qubit count;
   // parameter streams additionally depend on the initializer index. Each
   // (q, initializer) cell's samples therefore do not depend on which other
   // cells were computed in this process — restoring some cells from a
-  // checkpoint and computing the rest reproduces an uninterrupted run
-  // bit-for-bit.
+  // checkpoint, or computing cells concurrently in any order, reproduces
+  // a serial uninterrupted run bit-for-bit.
+  std::vector<CellTask> tasks;
   for (std::size_t qi = 0; qi < options_.qubit_counts.size(); ++qi) {
     const std::size_t q = options_.qubit_counts[qi];
-    std::vector<std::vector<double>> samples(initializers.size());
-    std::vector<bool> restored(initializers.size(), false);
-    bool need_compute = false;
     for (std::size_t t = 0; t < initializers.size(); ++t) {
+      const std::string key =
+          variance_cell_key(control, q, initializers[t]->name());
       if (checkpoint != nullptr) {
-        const CheckpointCell* cell = checkpoint->find_cell(
-            variance_cell_key(control, q, initializers[t]->name()));
-        if (cell != nullptr) {
+        if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
           const std::vector<double>& stored = cell->vector("samples");
           if (stored.size() != options_.circuits_per_point) {
             throw CheckpointError(
@@ -134,84 +172,81 @@ VarianceResult VarianceExperiment::run(
                 std::to_string(stored.size()) + " samples, expected " +
                 std::to_string(options_.circuits_per_point));
           }
-          samples[t] = stored;
-          restored[t] = true;
+          deposit(qi, t, stored);
+          report_cell(control, key, ++completed_cells, total_cells, true);
           continue;
         }
       }
-      samples[t].resize(options_.circuits_per_point);
-      need_compute = true;
-    }
 
-    if (need_compute) {
-      const auto observable = make_cost_observable(options_.cost, q);
-      const Rng q_stream = root.child(qi);
-      for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
-        if (control.cancel != nullptr) {
-          control.cancel->throw_if_cancelled(
-              "variance experiment at qubits=" + std::to_string(q) +
-              " circuit=" + std::to_string(i));
-        }
-        const Rng circuit_stream = q_stream.child(2 * i);
-        Rng structure_rng = circuit_stream.child(0);
-        VarianceAnsatzOptions ansatz_options;
-        ansatz_options.layers = options_.layers;
-        ansatz_options.entangle = options_.entangle;
-        ansatz_options.entangler = options_.entangler;
-        ansatz_options.topology = options_.topology;
-        const Circuit circuit =
-            variance_ansatz(q, structure_rng, ansatz_options);
-        std::size_t which = circuit.num_parameters() - 1;
-        switch (options_.which_parameter) {
-          case GradientParameter::kLast:
-            break;
-          case GradientParameter::kMiddle:
-            which = circuit.num_parameters() / 2;
-            break;
-          case GradientParameter::kFirst:
-            which = 0;
-            break;
-        }
+      tasks.push_back(CellTask{
+          key, [this, &control, &deposit, &deposit_mu, &completed_cells,
+                total_cells, checkpoint, root, initializer = initializers[t],
+                qi, t, q, key](CellContext& ctx) {
+            // Retries recompute the whole cell with the parameter-shift
+            // fallback engine — fresh instance per attempt, so stateful
+            // engines (fault injection, SPSA) stay cell-deterministic.
+            const auto cell_engine =
+                ctx.attempt == 0
+                    ? make_gradient_engine(options_.gradient_engine)
+                    : std::unique_ptr<GradientEngine>(
+                          std::make_unique<ParameterShiftEngine>());
+            const auto observable = make_cost_observable(options_.cost, q);
+            const Rng q_stream = root.child(qi);
+            std::vector<double> samples(options_.circuits_per_point);
+            for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
+              ctx.throw_if_cancelled(
+                  "variance experiment at qubits=" + std::to_string(q) +
+                  " circuit=" + std::to_string(i));
+              const Rng circuit_stream = q_stream.child(2 * i);
+              Rng structure_rng = circuit_stream.child(0);
+              VarianceAnsatzOptions ansatz_options;
+              ansatz_options.layers = options_.layers;
+              ansatz_options.entangle = options_.entangle;
+              ansatz_options.entangler = options_.entangler;
+              ansatz_options.topology = options_.topology;
+              const Circuit circuit =
+                  variance_ansatz(q, structure_rng, ansatz_options);
+              std::size_t which = circuit.num_parameters() - 1;
+              switch (options_.which_parameter) {
+                case GradientParameter::kLast:
+                  break;
+                case GradientParameter::kMiddle:
+                  which = circuit.num_parameters() / 2;
+                  break;
+                case GradientParameter::kFirst:
+                  which = 0;
+                  break;
+              }
+              Rng param_rng = circuit_stream.child(1 + t);
+              const std::vector<double> params =
+                  initializer->initialize(circuit, param_rng);
+              const double g =
+                  cell_engine->partial(circuit, *observable, params, which);
+              if (!std::isfinite(g)) {
+                throw NumericalError(
+                    "VarianceExperiment::run: non-finite gradient sample "
+                    "(initializer '" + initializer->name() + "', qubits " +
+                    std::to_string(q) + ", circuit " + std::to_string(i) +
+                    ", engine '" + cell_engine->name() + "')");
+              }
+              samples[i] = g;
+            }
 
-        for (std::size_t t = 0; t < initializers.size(); ++t) {
-          if (restored[t]) continue;
-          Rng param_rng = circuit_stream.child(1 + t);
-          const std::vector<double> params =
-              initializers[t]->initialize(circuit, param_rng);
-          const double g =
-              engine->partial(circuit, *observable, params, which);
-          if (!std::isfinite(g)) {
-            throw NumericalError(
-                "VarianceExperiment::run: non-finite gradient sample "
-                "(initializer '" + initializers[t]->name() + "', qubits " +
-                std::to_string(q) + ", circuit " + std::to_string(i) +
-                ", engine '" + options_.gradient_engine + "')");
-          }
-          samples[t][i] = g;
-        }
-      }
-    }
-
-    for (std::size_t t = 0; t < initializers.size(); ++t) {
-      const std::string key =
-          variance_cell_key(control, q, initializers[t]->name());
-      if (checkpoint != nullptr && !restored[t]) {
-        CheckpointCell cell;
-        cell.vectors["samples"] = samples[t];
-        checkpoint->put_cell(key, std::move(cell));
-        checkpoint->flush();
-      }
-      VariancePoint point;
-      point.qubits = q;
-      point.gradient_summary = summarize(samples[t]);
-      point.variance = point.gradient_summary.variance;
-      if (options_.keep_samples) {
-        point.samples = samples[t];
-      }
-      result.series[t].points.push_back(std::move(point));
-      report_cell(control, key, ++completed_cells, total_cells, restored[t]);
+            std::lock_guard<std::mutex> lock(deposit_mu);
+            if (checkpoint != nullptr) {
+              CheckpointCell cell;
+              cell.vectors["samples"] = samples;
+              checkpoint->record_cell(key, std::move(cell));
+            }
+            deposit(qi, t, samples);
+            report_cell(control, key, ++completed_cells, total_cells, false);
+          }});
     }
   }
+
+  const Executor executor(executor_options_from(control));
+  ExecutorReport report = executor.run(std::move(tasks));
+  result.failures = std::move(report.failures);
 
   // Decay fits: ln Var vs qubit count over the positive-variance points.
   for (VarianceSeries& s : result.series) {
@@ -284,26 +319,29 @@ PositionalVarianceResult positional_variance(
         "run's options");
   }
 
-  const AdjointEngine engine;
   const Rng root(options.seed);
 
   PositionalVarianceResult result;
   result.fractions = std::move(fractions);
   result.qubit_counts = options.qubit_counts;
-  result.variances.assign(result.fractions.size(),
-                          std::vector<double>(options.qubit_counts.size()));
+  result.variances.assign(
+      result.fractions.size(),
+      std::vector<double>(options.qubit_counts.size(),
+                          std::numeric_limits<double>::quiet_NaN()));
+
+  const std::size_t total_cells = options.qubit_counts.size();
+  std::size_t completed_cells = 0;
+  std::mutex deposit_mu;
 
   // One checkpoint cell per qubit count holding every fraction's samples
   // ("f0", "f1", ...); the qubit counts are independent sub-streams of the
-  // root seed, so per-cell resume is exact.
+  // root seed, so per-cell resume — and concurrent execution in any
+  // order — is exact.
+  std::vector<CellTask> tasks;
   for (std::size_t qi = 0; qi < options.qubit_counts.size(); ++qi) {
     const std::size_t q = options.qubit_counts[qi];
     const std::string key =
         control.cell_prefix + "q=" + std::to_string(q);
-    std::vector<std::vector<double>> samples(
-        result.fractions.size(),
-        std::vector<double>(options.circuits_per_point));
-    bool restored = false;
 
     if (checkpoint != nullptr) {
       if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
@@ -315,61 +353,72 @@ PositionalVarianceResult positional_variance(
                 "positional_variance: checkpoint cell " + key +
                 " has the wrong sample count");
           }
-          samples[f] = stored;
+          result.variances[f][qi] = sample_variance(stored);
         }
-        restored = true;
+        report_cell(control, key, ++completed_cells, total_cells, true);
+        continue;
       }
     }
 
-    if (!restored) {
-      const auto observable = make_cost_observable(options.cost, q);
-      const Rng q_stream = root.child(qi);
-      for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
-        if (control.cancel != nullptr) {
-          control.cancel->throw_if_cancelled(
-              "positional variance at qubits=" + std::to_string(q) +
-              " circuit=" + std::to_string(i));
-        }
-        const Rng circuit_stream = q_stream.child(2 * i);
-        Rng structure_rng = circuit_stream.child(0);
-        VarianceAnsatzOptions ansatz_options;
-        ansatz_options.layers = options.layers;
-        ansatz_options.entangle = options.entangle;
-        ansatz_options.entangler = options.entangler;
-        ansatz_options.topology = options.topology;
-        const Circuit circuit =
-            variance_ansatz(q, structure_rng, ansatz_options);
-        Rng param_rng = circuit_stream.child(1);
-        const auto params = initializer.initialize(circuit, param_rng);
-        const auto grad = engine.gradient(circuit, *observable, params);
-
-        const std::size_t last = circuit.num_parameters() - 1;
-        for (std::size_t f = 0; f < result.fractions.size(); ++f) {
-          const auto k = static_cast<std::size_t>(
-              std::llround(result.fractions[f] * static_cast<double>(last)));
-          if (!std::isfinite(grad[k])) {
-            throw NumericalError(
-                "positional_variance: non-finite gradient sample at "
-                "qubits=" + std::to_string(q) +
+    tasks.push_back(CellTask{
+        key, [&options, &control, &initializer, &result, &deposit_mu,
+              &completed_cells, total_cells, checkpoint, root, qi, q,
+              key](CellContext& ctx) {
+          const AdjointEngine engine;
+          const auto observable = make_cost_observable(options.cost, q);
+          const Rng q_stream = root.child(qi);
+          std::vector<std::vector<double>> samples(
+              result.fractions.size(),
+              std::vector<double>(options.circuits_per_point));
+          for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
+            ctx.throw_if_cancelled(
+                "positional variance at qubits=" + std::to_string(q) +
                 " circuit=" + std::to_string(i));
+            const Rng circuit_stream = q_stream.child(2 * i);
+            Rng structure_rng = circuit_stream.child(0);
+            VarianceAnsatzOptions ansatz_options;
+            ansatz_options.layers = options.layers;
+            ansatz_options.entangle = options.entangle;
+            ansatz_options.entangler = options.entangler;
+            ansatz_options.topology = options.topology;
+            const Circuit circuit =
+                variance_ansatz(q, structure_rng, ansatz_options);
+            Rng param_rng = circuit_stream.child(1);
+            const auto params = initializer.initialize(circuit, param_rng);
+            const auto grad = engine.gradient(circuit, *observable, params);
+
+            const std::size_t last = circuit.num_parameters() - 1;
+            for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+              const auto k = static_cast<std::size_t>(std::llround(
+                  result.fractions[f] * static_cast<double>(last)));
+              if (!std::isfinite(grad[k])) {
+                throw NumericalError(
+                    "positional_variance: non-finite gradient sample at "
+                    "qubits=" + std::to_string(q) +
+                    " circuit=" + std::to_string(i));
+              }
+              samples[f][i] = grad[k];
+            }
           }
-          samples[f][i] = grad[k];
-        }
-      }
-      if (checkpoint != nullptr) {
-        CheckpointCell cell;
-        for (std::size_t f = 0; f < result.fractions.size(); ++f) {
-          cell.vectors["f" + std::to_string(f)] = samples[f];
-        }
-        checkpoint->put_cell(key, std::move(cell));
-        checkpoint->flush();
-      }
-    }
-    for (std::size_t f = 0; f < result.fractions.size(); ++f) {
-      result.variances[f][qi] = sample_variance(samples[f]);
-    }
-    report_cell(control, key, qi + 1, options.qubit_counts.size(), restored);
+
+          std::lock_guard<std::mutex> lock(deposit_mu);
+          if (checkpoint != nullptr) {
+            CheckpointCell cell;
+            for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+              cell.vectors["f" + std::to_string(f)] = samples[f];
+            }
+            checkpoint->record_cell(key, std::move(cell));
+          }
+          for (std::size_t f = 0; f < result.fractions.size(); ++f) {
+            result.variances[f][qi] = sample_variance(samples[f]);
+          }
+          report_cell(control, key, ++completed_cells, total_cells, false);
+        }});
   }
+
+  const Executor executor(executor_options_from(control));
+  ExecutorReport report = executor.run(std::move(tasks));
+  result.failures = std::move(report.failures);
   return result;
 }
 
@@ -491,9 +540,14 @@ Table VarianceResult::variance_table() const {
 }
 
 Table VarianceResult::decay_table() const {
+  // Improvements need a healthy random baseline; a failure-budget run can
+  // leave the random series degenerate (NaN points, ~0 slope), in which
+  // case the column is dropped rather than throwing mid-print.
   const bool have_random = [&] {
     for (const VarianceSeries& s : series) {
-      if (s.initializer == "random") return true;
+      if (s.initializer == "random") {
+        return std::abs(s.decay_fit.slope) > 1e-12;
+      }
     }
     return false;
   }();

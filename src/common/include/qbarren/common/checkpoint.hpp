@@ -15,6 +15,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,13 +73,18 @@ class Checkpoint {
   /// Inserts or replaces a cell. Keys must be non-empty single lines.
   void put_cell(const std::string& key, CheckpointCell cell);
 
+  /// put_cell + flush as one atomic operation under the store's writer
+  /// mutex — the entry point for concurrent producers (executor worker
+  /// threads). Interleaved record_cell calls from any number of threads
+  /// leave the store uncorrupted, and every flush writes a complete,
+  /// loadable file.
+  void record_cell(const std::string& key, CheckpointCell cell);
+
   /// Atomically rewrites the backing file with the current contents.
   /// No-op for an in-memory store (empty path).
   void flush() const;
 
-  [[nodiscard]] std::size_t cell_count() const noexcept {
-    return cells_.size();
-  }
+  [[nodiscard]] std::size_t cell_count() const noexcept;
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] const std::string& fingerprint() const noexcept {
     return fingerprint_;
@@ -87,9 +94,16 @@ class Checkpoint {
   [[nodiscard]] std::string serialize() const;
 
  private:
+  void put_cell_locked(const std::string& key, CheckpointCell cell);
+  [[nodiscard]] std::string serialize_locked() const;
+
   std::string path_;
   std::string fingerprint_;
   std::map<std::string, CheckpointCell> cells_;  // ordered => deterministic
+  // Writer mutex serializing record_cell/put_cell/flush from concurrent
+  // producers. Behind unique_ptr because load()/open() return by value
+  // (std::mutex is immovable); never null after construction.
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace qbarren

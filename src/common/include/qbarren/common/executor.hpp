@@ -1,0 +1,190 @@
+// Fault-isolated parallel executor for experiment cells.
+//
+// The paper's grids are embarrassingly parallel — 200 circuits x 5 qubit
+// counts x 6 initializers for Fig 5a, plus per-initializer training runs —
+// and every cell draws from an independent RNG child stream, so cells can
+// run concurrently without changing a single bit of the results. The
+// Executor runs such cells on a fixed-size thread pool and keeps one bad
+// cell from taking the run down with it:
+//
+//   * exception capture — a throwing cell becomes a structured CellFailure
+//     (error class + message + cell key + attempt count) instead of
+//     tearing down the process;
+//   * watchdog — a per-cell soft deadline enforced cooperatively: a
+//     watchdog thread fires the cell's CancellationToken when the deadline
+//     passes, and the cell's work polls the token between units of work;
+//   * retries — cells that fail with NumericalError (the non-finite
+//     class) are retried with capped exponential backoff; the work closure
+//     sees the attempt number and can switch to a fallback gradient path
+//     (the PR 1 parameter-shift fallback) on retry;
+//   * failure budget — once more than `max_failures` cells have failed
+//     the run aborts with a summary instead of grinding through a broken
+//     grid. With the default budget of 0 the first failure is rethrown
+//     with its original type, exactly like a serial loop.
+//
+// Determinism: tasks deposit results keyed by cell (each task owns its
+// output slot), so a run's artifacts are byte-identical at any job count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "qbarren/common/error.hpp"
+#include "qbarren/common/json.hpp"
+#include "qbarren/common/run.hpp"
+
+namespace qbarren {
+
+/// Why a cell failed. The classes are coarse on purpose: they drive retry
+/// decisions and the failure summary, not diagnosis (the message carries
+/// the detail).
+enum class CellErrorClass {
+  kException,  ///< any exception other than the classes below
+  kNonFinite,  ///< NumericalError (NaN/Inf detected); retryable
+  kTimeout,    ///< the cell's soft deadline fired (watchdog cancellation)
+  kCancelled,  ///< cancelled for another reason (e.g. run abort)
+};
+
+/// Stable lower-case name ("exception", "non-finite", "timeout",
+/// "cancelled") used in summaries and JSON.
+[[nodiscard]] const char* cell_error_class_name(CellErrorClass c) noexcept;
+
+/// One failed cell, as reported in ExecutorReport / result JSON.
+struct CellFailure {
+  std::string cell;  ///< cell key, e.g. "q=8/init=random"
+  CellErrorClass error = CellErrorClass::kException;
+  std::string message;
+  std::size_t attempts = 1;  ///< attempts consumed (>= 1)
+};
+
+/// Thrown when more cells fail than `ExecutorOptions::max_failures`
+/// allows; carries every failure recorded before the abort.
+class FailureBudgetExceeded : public Error {
+ public:
+  FailureBudgetExceeded(const std::string& what,
+                        std::vector<CellFailure> failures)
+      : Error(what), failures_(std::move(failures)) {}
+
+  [[nodiscard]] const std::vector<CellFailure>& failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  std::vector<CellFailure> failures_;
+};
+
+/// Handed to every cell's work closure; poll it between units of work.
+/// `cell_token` is this attempt's private token — the watchdog fires it
+/// when the cell's soft deadline passes or the run aborts. `run_token` is
+/// the run-wide token (e.g. the SIGINT token), checked directly so
+/// cancellation is observed at the very next poll rather than after the
+/// watchdog's next sweep. `attempt` is 0 on the first try and increments
+/// on every retry, so work can switch to a fallback computation path when
+/// retrying.
+struct CellContext {
+  const CancellationToken* cell_token = nullptr;
+  const CancellationToken* run_token = nullptr;
+  std::size_t attempt = 0;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return (cell_token != nullptr && cell_token->cancelled()) ||
+           (run_token != nullptr && run_token->cancelled());
+  }
+
+  /// Throws Cancelled carrying `context` when either token fired. The
+  /// executor classifies the resulting failure as kTimeout when its
+  /// watchdog fired the cell token on deadline, as run-wide cancellation
+  /// when the run token fired, and as kCancelled otherwise (run abort).
+  void throw_if_cancelled(const std::string& context) const {
+    if (run_token != nullptr) run_token->throw_if_cancelled(context);
+    if (cell_token != nullptr) cell_token->throw_if_cancelled(context);
+  }
+};
+
+struct ExecutorOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). The job
+  /// count never changes results, only wall-clock time.
+  std::size_t jobs = 1;
+
+  /// Soft per-cell deadline. When a cell runs longer, the watchdog fires
+  /// its token; the cell is recorded as kTimeout once it unwinds
+  /// (cooperative — a cell that never polls is not interrupted).
+  double cell_timeout_seconds = std::numeric_limits<double>::infinity();
+
+  /// Failed cells tolerated before the run aborts. With the default 0 the
+  /// first failure is rethrown with its original exception type (serial
+  /// semantics); with K > 0 the run completes unless more than K cells
+  /// fail, in which case FailureBudgetExceeded is thrown.
+  std::size_t max_failures = 0;
+
+  /// Attempts per cell for retryable (kNonFinite) failures. 1 = no retry.
+  std::size_t max_attempts = 1;
+
+  /// Backoff before retry k (1-based) is
+  /// min(backoff_initial_seconds * 2^(k-1), backoff_max_seconds).
+  double backoff_initial_seconds = 0.001;
+  double backoff_max_seconds = 0.1;
+
+  /// Optional run-wide cancellation (e.g. the SIGINT token). Only the
+  /// main thread installs signal handlers (see ScopedSignalCancellation);
+  /// workers poll this token through their CellContext. When it fires the
+  /// executor stops issuing cells, forwards the cancellation to every
+  /// in-flight cell, joins, and throws Cancelled.
+  const CancellationToken* cancel = nullptr;
+};
+
+/// One unit of isolated work. `work` must deposit its own output (each
+/// task owns a distinct result slot — that is what keeps parallel runs
+/// byte-identical to serial ones) and poll `CellContext::token` between
+/// units of computation.
+struct CellTask {
+  std::string key;
+  std::function<void(CellContext&)> work;
+};
+
+struct ExecutorReport {
+  std::size_t completed = 0;           ///< cells that succeeded
+  std::vector<CellFailure> failures;   ///< sorted by cell key
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Human-readable failure lines ("cell <key>: <class> after N attempt(s):
+/// <message>\n" per failure), for stderr summaries. Empty for no failures.
+[[nodiscard]] std::string failure_summary(
+    const std::vector<CellFailure>& failures);
+
+/// JSON array of {"cell", "error", "message", "attempts"} objects, in the
+/// given (sorted) order — embedded in result JSON so partial runs are
+/// self-describing.
+[[nodiscard]] JsonValue failures_to_json(
+    const std::vector<CellFailure>& failures);
+
+class Executor {
+ public:
+  /// Validates the options (jobs resolved lazily; throws InvalidArgument
+  /// on a negative timeout/backoff or max_attempts == 0).
+  explicit Executor(ExecutorOptions options);
+
+  /// Runs every task to completion (or until cancellation / budget
+  /// exhaustion) and returns the report. Throws Cancelled when
+  /// `options.cancel` fired, the first failure's original exception when
+  /// max_failures == 0, and FailureBudgetExceeded when more than
+  /// max_failures cells failed. Synchronous: all worker and watchdog
+  /// threads are joined before it returns or throws.
+  [[nodiscard]] ExecutorReport run(std::vector<CellTask> tasks) const;
+
+  [[nodiscard]] const ExecutorOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// 0 -> hardware concurrency (at least 1).
+  [[nodiscard]] static std::size_t resolve_jobs(std::size_t jobs) noexcept;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace qbarren

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -67,6 +68,13 @@ class CancellationToken {
 /// token instead of killing the process; the previous handlers are
 /// restored on destruction. At most one may be active at a time (the
 /// constructor throws InvalidArgument otherwise).
+///
+/// Threading contract: construct and destroy this on the main thread only,
+/// before worker threads that observe the token start and after they are
+/// joined. The handler itself may run on any thread (signal disposition is
+/// process-wide) and only performs an async-signal-safe atomic store;
+/// worker threads never install handlers — they poll the shared token,
+/// which is safe concurrently from any number of threads.
 class ScopedSignalCancellation {
  public:
   explicit ScopedSignalCancellation(CancellationToken& token);
@@ -107,8 +115,33 @@ struct RunControl {
   /// inner cells ("rep=3/" + "init=random").
   std::string cell_prefix;
 
-  /// Called after every completed (or restored) cell.
+  /// Called after every completed (or restored) cell. May be invoked from
+  /// a worker thread when jobs > 1 (calls are serialized under the
+  /// runner's deposit lock, so the callback itself needs no locking).
   std::function<void(const RunProgress&)> progress;
+
+  // --- parallel execution (forwarded to qbarren::Executor) -------------
+
+  /// Worker threads for cell-parallel runners; 0 = hardware concurrency.
+  /// The job count changes wall-clock time only, never results: cells
+  /// draw from independent RNG child streams and deposit by key.
+  std::size_t jobs = 1;
+
+  /// Soft per-cell deadline in seconds (default unbounded). A cell that
+  /// outlives it is cancelled cooperatively and recorded as a timeout
+  /// failure.
+  double cell_timeout_seconds = std::numeric_limits<double>::infinity();
+
+  /// Failed cells tolerated before the run aborts. 0 (default) rethrows
+  /// the first failure with its original type, exactly like a serial
+  /// loop; K > 0 lets the run complete with up to K failed cells
+  /// (reported in the result's failure list) and throws
+  /// FailureBudgetExceeded beyond that.
+  std::size_t max_cell_failures = 0;
+
+  /// Attempts per cell for retryable (non-finite) failures; retries
+  /// switch to the parameter-shift fallback path. 1 = no retry.
+  std::size_t max_cell_attempts = 1;
 };
 
 }  // namespace qbarren

@@ -179,15 +179,26 @@ Checkpoint Checkpoint::open(const std::string& path,
 }
 
 bool Checkpoint::has_cell(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   return cells_.find(key) != cells_.end();
 }
 
 const CheckpointCell* Checkpoint::find_cell(const std::string& key) const {
+  // The returned pointer stays valid under concurrent record_cell of
+  // *other* keys (std::map never invalidates on insert); callers restore
+  // cells before spawning producers, so no lifetime hazard in practice.
+  std::lock_guard<std::mutex> lock(*mutex_);
   const auto it = cells_.find(key);
   return it == cells_.end() ? nullptr : &it->second;
 }
 
-void Checkpoint::put_cell(const std::string& key, CheckpointCell cell) {
+std::size_t Checkpoint::cell_count() const noexcept {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return cells_.size();
+}
+
+void Checkpoint::put_cell_locked(const std::string& key,
+                                 CheckpointCell cell) {
   QBARREN_REQUIRE(!key.empty() && key.find('\n') == std::string::npos,
                   "Checkpoint::put_cell: key must be a non-empty single line");
   for (const auto& [name, unused] : cell.scalars) {
@@ -201,7 +212,20 @@ void Checkpoint::put_cell(const std::string& key, CheckpointCell cell) {
   cells_[key] = std::move(cell);
 }
 
-std::string Checkpoint::serialize() const {
+void Checkpoint::put_cell(const std::string& key, CheckpointCell cell) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  put_cell_locked(key, std::move(cell));
+}
+
+void Checkpoint::record_cell(const std::string& key, CheckpointCell cell) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  put_cell_locked(key, std::move(cell));
+  if (!path_.empty()) {
+    write_file_atomic(path_, serialize_locked());
+  }
+}
+
+std::string Checkpoint::serialize_locked() const {
   std::string out;
   out += "qbarren-checkpoint " + std::to_string(kFormatVersion) + "\n";
   out += "fingerprint " + fingerprint_ + "\n";
@@ -226,9 +250,15 @@ std::string Checkpoint::serialize() const {
   return out;
 }
 
+std::string Checkpoint::serialize() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return serialize_locked();
+}
+
 void Checkpoint::flush() const {
   if (path_.empty()) return;
-  write_file_atomic(path_, serialize());
+  std::lock_guard<std::mutex> lock(*mutex_);
+  write_file_atomic(path_, serialize_locked());
 }
 
 }  // namespace qbarren

@@ -1,0 +1,350 @@
+#include "qbarren/common/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+namespace qbarren {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Watchdog bookkeeping for one worker's in-flight attempt. Guarded by
+/// RunState::watch_mu; the token itself is internally thread-safe, so the
+/// worker polls it lock-free while the watchdog fires it under the lock.
+struct Slot {
+  std::shared_ptr<CancellationToken> token;  ///< fresh per attempt
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  bool deadline_fired = false;
+  bool active = false;
+};
+
+struct RunState {
+  const std::vector<CellTask>* tasks = nullptr;
+  std::atomic<std::size_t> next{0};
+  /// Set on run-wide cancellation or a blown failure budget: workers stop
+  /// dequeuing and the watchdog broadcasts cancellation to in-flight cells.
+  std::atomic<bool> stop{false};
+
+  std::mutex mu;  // guards the result bookkeeping below
+  std::size_t completed = 0;
+  std::vector<CellFailure> failures;
+  std::vector<std::exception_ptr> originals;  // parallel to `failures`
+  std::exception_ptr cancelled_eptr;  // first Cancelled seen under run cancel
+  bool budget_blown = false;
+
+  std::mutex watch_mu;  // guards slots / shutdown / the cv
+  std::condition_variable watch_cv;
+  std::vector<Slot> slots;
+  bool shutdown = false;
+};
+
+Clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+/// Fires deadlines and broadcasts stop/cancel to in-flight cells. Runs
+/// only when the options carry a run token or a finite cell timeout.
+void watchdog_loop(RunState& st, const ExecutorOptions& opt) {
+  std::unique_lock<std::mutex> lock(st.watch_mu);
+  while (!st.shutdown) {
+    const bool cancel_all =
+        st.stop.load() || (opt.cancel != nullptr && opt.cancel->cancelled());
+    if (cancel_all) st.stop.store(true);
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next_wake = now + std::chrono::milliseconds(10);
+    for (Slot& s : st.slots) {
+      if (!s.active) continue;
+      if (cancel_all) {
+        s.token->request_cancel();
+        continue;
+      }
+      if (s.has_deadline && !s.deadline_fired) {
+        if (now >= s.deadline) {
+          s.deadline_fired = true;
+          s.token->request_cancel();
+        } else {
+          next_wake = std::min(next_wake, s.deadline);
+        }
+      }
+    }
+    st.watch_cv.wait_until(lock, next_wake);
+  }
+}
+
+/// Marks the worker's slot idle; returns whether the watchdog had fired
+/// this attempt's deadline (the kTimeout discriminator).
+bool deactivate_slot(RunState& st, std::size_t slot_idx) {
+  std::lock_guard<std::mutex> lock(st.watch_mu);
+  Slot& s = st.slots[slot_idx];
+  s.active = false;
+  s.token.reset();
+  return s.deadline_fired;
+}
+
+void record_failure(RunState& st, const ExecutorOptions& opt,
+                    const CellTask& task, CellErrorClass error,
+                    std::string message, std::size_t attempts,
+                    std::exception_ptr original) {
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.failures.push_back(
+      CellFailure{task.key, error, std::move(message), attempts});
+  st.originals.push_back(std::move(original));
+  if (st.failures.size() > opt.max_failures && !st.budget_blown) {
+    st.budget_blown = true;
+    st.stop.store(true);
+    st.watch_cv.notify_all();  // broadcast the abort to in-flight cells
+  }
+}
+
+/// Interruptible exponential-backoff sleep before retry `attempt`.
+void backoff_sleep(RunState& st, const ExecutorOptions& opt,
+                   std::size_t attempt) {
+  const double factor = std::pow(2.0, static_cast<double>(attempt - 1));
+  const double seconds = std::min(opt.backoff_initial_seconds * factor,
+                                  opt.backoff_max_seconds);
+  if (seconds <= 0.0) return;
+  std::unique_lock<std::mutex> lock(st.watch_mu);
+  st.watch_cv.wait_for(lock, to_duration(seconds),
+                       [&st] { return st.stop.load() || st.shutdown; });
+}
+
+void run_cell(RunState& st, const ExecutorOptions& opt, std::size_t slot_idx,
+              const CellTask& task) {
+  const bool finite_timeout = std::isfinite(opt.cell_timeout_seconds);
+  for (std::size_t attempt = 0; attempt < opt.max_attempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(st, opt, attempt);
+    if (st.stop.load()) return;
+
+    auto token = std::make_shared<CancellationToken>();
+    {
+      std::lock_guard<std::mutex> lock(st.watch_mu);
+      Slot& s = st.slots[slot_idx];
+      s.token = token;
+      s.has_deadline = finite_timeout;
+      if (finite_timeout) {
+        s.deadline = Clock::now() + to_duration(opt.cell_timeout_seconds);
+      }
+      s.deadline_fired = false;
+      s.active = true;
+    }
+    st.watch_cv.notify_all();  // let the watchdog adopt the new deadline
+
+    CellContext ctx{token.get(), opt.cancel, attempt};
+    try {
+      task.work(ctx);
+      (void)deactivate_slot(st, slot_idx);
+      std::lock_guard<std::mutex> lock(st.mu);
+      ++st.completed;
+      return;
+    } catch (const Cancelled& e) {
+      const bool fired = deactivate_slot(st, slot_idx);
+      if (fired) {
+        char bound[64];
+        std::snprintf(bound, sizeof(bound), "%g", opt.cell_timeout_seconds);
+        record_failure(st, opt, task, CellErrorClass::kTimeout,
+                       "cell exceeded its soft deadline of " +
+                           std::string(bound) + " s (" + e.what() + ")",
+                       attempt + 1, std::current_exception());
+        return;
+      }
+      if (opt.cancel != nullptr && opt.cancel->cancelled()) {
+        // Run-wide cancellation (e.g. SIGINT): not a cell failure.
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (st.cancelled_eptr == nullptr) {
+          st.cancelled_eptr = std::current_exception();
+        }
+        st.stop.store(true);
+        return;
+      }
+      // Cancelled by the budget-abort broadcast: recorded so the abort
+      // summary names the cells that were cut short.
+      record_failure(st, opt, task, CellErrorClass::kCancelled, e.what(),
+                     attempt + 1, std::current_exception());
+      return;
+    } catch (const NumericalError& e) {
+      (void)deactivate_slot(st, slot_idx);
+      if (attempt + 1 < opt.max_attempts && !st.stop.load()) {
+        continue;  // retryable: back off and try again
+      }
+      record_failure(st, opt, task, CellErrorClass::kNonFinite, e.what(),
+                     attempt + 1, std::current_exception());
+      return;
+    } catch (const std::exception& e) {
+      (void)deactivate_slot(st, slot_idx);
+      record_failure(st, opt, task, CellErrorClass::kException, e.what(),
+                     attempt + 1, std::current_exception());
+      return;
+    } catch (...) {
+      (void)deactivate_slot(st, slot_idx);
+      record_failure(st, opt, task, CellErrorClass::kException,
+                     "unknown exception", attempt + 1,
+                     std::current_exception());
+      return;
+    }
+  }
+}
+
+void worker_loop(RunState& st, const ExecutorOptions& opt,
+                 std::size_t slot_idx) {
+  for (;;) {
+    if (st.stop.load()) return;
+    if (opt.cancel != nullptr && opt.cancel->cancelled()) {
+      st.stop.store(true);
+      st.watch_cv.notify_all();
+      return;
+    }
+    const std::size_t i = st.next.fetch_add(1);
+    if (i >= st.tasks->size()) return;
+    run_cell(st, opt, slot_idx, (*st.tasks)[i]);
+  }
+}
+
+}  // namespace
+
+const char* cell_error_class_name(CellErrorClass c) noexcept {
+  switch (c) {
+    case CellErrorClass::kException: return "exception";
+    case CellErrorClass::kNonFinite: return "non-finite";
+    case CellErrorClass::kTimeout: return "timeout";
+    case CellErrorClass::kCancelled: return "cancelled";
+  }
+  return "exception";
+}
+
+std::string failure_summary(const std::vector<CellFailure>& failures) {
+  std::string out;
+  for (const CellFailure& f : failures) {
+    out += "cell " + f.cell + ": " + cell_error_class_name(f.error) +
+           " after " + std::to_string(f.attempts) + " attempt(s): " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+JsonValue failures_to_json(const std::vector<CellFailure>& failures) {
+  JsonValue array = JsonValue::array();
+  for (const CellFailure& f : failures) {
+    JsonValue entry = JsonValue::object();
+    entry.set("cell", f.cell);
+    entry.set("error", cell_error_class_name(f.error));
+    entry.set("message", f.message);
+    entry.set("attempts", f.attempts);
+    array.push_back(std::move(entry));
+  }
+  return array;
+}
+
+Executor::Executor(ExecutorOptions options) : options_(options) {
+  QBARREN_REQUIRE(!(options_.cell_timeout_seconds < 0.0) &&
+                      !std::isnan(options_.cell_timeout_seconds),
+                  "Executor: cell timeout must be >= 0 seconds");
+  QBARREN_REQUIRE(options_.max_attempts >= 1,
+                  "Executor: need at least one attempt per cell");
+  QBARREN_REQUIRE(options_.backoff_initial_seconds >= 0.0 &&
+                      options_.backoff_max_seconds >= 0.0,
+                  "Executor: backoff bounds must be >= 0");
+}
+
+std::size_t Executor::resolve_jobs(std::size_t jobs) noexcept {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ExecutorReport Executor::run(std::vector<CellTask> tasks) const {
+  for (const CellTask& t : tasks) {
+    QBARREN_REQUIRE(t.work != nullptr,
+                    "Executor::run: task '" + t.key + "' has no work");
+  }
+  ExecutorReport report;
+  if (tasks.empty()) return report;
+  if (options_.cancel != nullptr) {
+    // Pre-cancelled run: nothing starts, matching a serial loop that
+    // polls before its first cell.
+    options_.cancel->throw_if_cancelled("executor run");
+  }
+
+  const std::size_t jobs =
+      std::min(resolve_jobs(options_.jobs), tasks.size());
+  RunState st;
+  st.tasks = &tasks;
+  st.slots.resize(jobs);
+
+  const bool need_watchdog = options_.cancel != nullptr ||
+                             std::isfinite(options_.cell_timeout_seconds);
+  std::thread watchdog;
+  if (need_watchdog) {
+    watchdog = std::thread(
+        [&st, this] { watchdog_loop(st, options_); });
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back(
+        [&st, this, w] { worker_loop(st, options_, w); });
+  }
+  for (std::thread& t : workers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(st.watch_mu);
+    st.shutdown = true;
+  }
+  st.watch_cv.notify_all();
+  if (watchdog.joinable()) watchdog.join();
+
+  // Post-mortem: single-threaded from here on.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    // Completed cells were already deposited/flushed by their work
+    // closures; propagating Cancelled makes the interrupt durable.
+    if (st.cancelled_eptr != nullptr) {
+      std::rethrow_exception(st.cancelled_eptr);
+    }
+    throw Cancelled("cancelled: executor run");
+  }
+
+  // Deterministic failure order: sort by cell key (stable — completion
+  // order is scheduling noise, the key order is not).
+  std::vector<std::size_t> order(st.failures.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&st](std::size_t a, std::size_t b) {
+                     return st.failures[a].cell < st.failures[b].cell;
+                   });
+  std::vector<CellFailure> failures;
+  failures.reserve(order.size());
+  for (const std::size_t i : order) {
+    failures.push_back(std::move(st.failures[i]));
+  }
+
+  if (failures.size() > options_.max_failures) {
+    if (options_.max_failures == 0) {
+      // Serial semantics: surface the first failure with its original
+      // type ("first" by key order, which is deterministic).
+      std::rethrow_exception(st.originals[order.front()]);
+    }
+    // Build the message before std::move(failures): the evaluation order
+    // of the two constructor arguments is unspecified.
+    const std::string what =
+        "executor: failure budget exceeded (" +
+        std::to_string(failures.size()) + " failed cells, budget " +
+        std::to_string(options_.max_failures) + "):\n" +
+        failure_summary(failures);
+    throw FailureBudgetExceeded(what, std::move(failures));
+  }
+
+  report.completed = st.completed;
+  report.failures = std::move(failures);
+  return report;
+}
+
+}  // namespace qbarren

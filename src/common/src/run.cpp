@@ -110,6 +110,12 @@ void forward_signal_to_token(int /*signum*/) {
 
 }  // namespace
 
+// Main-thread-only by contract (see the header): std::signal changes the
+// process-wide disposition, so installation must happen before worker
+// threads start and restoration after they join. The compare-exchange on
+// g_signal_token enforces single-instance, and the handler + worker polls
+// touch only lock-free atomics, so no data race is possible once workers
+// are running.
 ScopedSignalCancellation::ScopedSignalCancellation(CancellationToken& token) {
   CancellationToken* expected = nullptr;
   QBARREN_REQUIRE(

@@ -1,0 +1,436 @@
+// Tests for the fault-isolated parallel executor: taxonomy, fault
+// isolation within the failure budget, serial-compatible budget-0
+// semantics, retry with fallback-path attempts, watchdog timeouts,
+// cancellation, and determinism across job counts.
+#include "qbarren/common/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qbarren {
+namespace {
+
+ExecutorOptions fast_retry_options() {
+  ExecutorOptions opt;
+  opt.backoff_initial_seconds = 0.0;  // keep retry tests instant
+  opt.backoff_max_seconds = 0.0;
+  return opt;
+}
+
+TEST(CellErrorClassName, StableLowerCaseNames) {
+  EXPECT_STREQ(cell_error_class_name(CellErrorClass::kException),
+               "exception");
+  EXPECT_STREQ(cell_error_class_name(CellErrorClass::kNonFinite),
+               "non-finite");
+  EXPECT_STREQ(cell_error_class_name(CellErrorClass::kTimeout), "timeout");
+  EXPECT_STREQ(cell_error_class_name(CellErrorClass::kCancelled),
+               "cancelled");
+}
+
+TEST(FailureSummary, OneLinePerFailureWithKeyClassAttemptsMessage) {
+  std::vector<CellFailure> failures;
+  failures.push_back(CellFailure{"q=8/init=random",
+                                 CellErrorClass::kNonFinite,
+                                 "NaN sample at circuit 3", 2});
+  failures.push_back(CellFailure{"rep=1/init=he", CellErrorClass::kTimeout,
+                                 "deadline", 1});
+  const std::string summary = failure_summary(failures);
+  EXPECT_NE(summary.find("cell q=8/init=random: non-finite after 2 "
+                         "attempt(s): NaN sample at circuit 3\n"),
+            std::string::npos);
+  EXPECT_NE(summary.find("cell rep=1/init=he: timeout after 1 "
+                         "attempt(s): deadline\n"),
+            std::string::npos);
+  EXPECT_TRUE(failure_summary({}).empty());
+}
+
+TEST(FailuresToJson, EveryClassRoundTripsItsName) {
+  std::vector<CellFailure> failures;
+  failures.push_back(
+      CellFailure{"a", CellErrorClass::kException, "boom", 1});
+  failures.push_back(
+      CellFailure{"b", CellErrorClass::kNonFinite, "nan", 3});
+  failures.push_back(
+      CellFailure{"c", CellErrorClass::kTimeout, "slow", 1});
+  failures.push_back(
+      CellFailure{"d", CellErrorClass::kCancelled, "abort", 2});
+  const std::string json = failures_to_json(failures).dump();
+  EXPECT_NE(json.find("\"error\":\"exception\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"non-finite\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"cancelled\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"message\":\"nan\""), std::string::npos);
+  EXPECT_EQ(failures_to_json({}).dump(), "[]");
+}
+
+TEST(ExecutorOptionsValidation, RejectsBadTimeoutAttemptsBackoff) {
+  ExecutorOptions opt;
+  opt.cell_timeout_seconds = -1.0;
+  EXPECT_THROW(Executor{opt}, InvalidArgument);
+  opt.cell_timeout_seconds = std::nan("");
+  EXPECT_THROW(Executor{opt}, InvalidArgument);
+
+  opt = ExecutorOptions{};
+  opt.max_attempts = 0;
+  EXPECT_THROW(Executor{opt}, InvalidArgument);
+
+  opt = ExecutorOptions{};
+  opt.backoff_initial_seconds = -0.5;
+  EXPECT_THROW(Executor{opt}, InvalidArgument);
+  opt = ExecutorOptions{};
+  opt.backoff_max_seconds = -0.5;
+  EXPECT_THROW(Executor{opt}, InvalidArgument);
+
+  EXPECT_NO_THROW(Executor{ExecutorOptions{}});
+}
+
+TEST(ExecutorResolveJobs, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(Executor::resolve_jobs(0), 1u);
+  EXPECT_EQ(Executor::resolve_jobs(1), 1u);
+  EXPECT_EQ(Executor::resolve_jobs(7), 7u);
+}
+
+TEST(Executor, EmptyTaskListIsANoOp) {
+  const Executor executor{ExecutorOptions{}};
+  const ExecutorReport report = executor.run({});
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Executor, RejectsTasksWithoutWork) {
+  const Executor executor{ExecutorOptions{}};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"empty", nullptr});
+  EXPECT_THROW((void)executor.run(std::move(tasks)), InvalidArgument);
+}
+
+TEST(Executor, DepositByKeyIsIdenticalAtAnyJobCount) {
+  constexpr std::size_t kCells = 24;
+  std::vector<double> reference;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
+                                 std::size_t{8}}) {
+    std::vector<double> out(kCells, 0.0);
+    std::vector<CellTask> tasks;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      tasks.push_back(CellTask{
+          "cell=" + std::to_string(i), [&out, i](CellContext& ctx) {
+            ctx.throw_if_cancelled("cell " + std::to_string(i));
+            out[i] = static_cast<double>(i * i) + 0.5;
+          }});
+    }
+    ExecutorOptions opt;
+    opt.jobs = jobs;
+    const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+    EXPECT_EQ(report.completed, kCells) << "jobs=" << jobs;
+    EXPECT_TRUE(report.ok());
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      EXPECT_EQ(out, reference) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Executor, BudgetZeroRethrowsOriginalExceptionType) {
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"q=4/init=random", [](CellContext&) {
+                             throw NumericalError(
+                                 "non-finite gradient sample");
+                           }});
+  const Executor executor{ExecutorOptions{}};  // max_failures = 0
+  try {
+    (void)executor.run(std::move(tasks));
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite gradient sample"),
+              std::string::npos);
+  }
+}
+
+TEST(Executor, FaultIsolationOneBadCellDoesNotSinkTheRun) {
+  std::vector<double> out(5, 0.0);
+  std::vector<CellTask> tasks;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == 2) {
+      tasks.push_back(CellTask{"cell=2", [](CellContext&) {
+                                 throw std::runtime_error("boom");
+                               }});
+    } else {
+      tasks.push_back(CellTask{"cell=" + std::to_string(i),
+                               [&out, i](CellContext&) { out[i] = 1.0; }});
+    }
+  }
+  ExecutorOptions opt;
+  opt.jobs = 2;
+  opt.max_failures = 1;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  EXPECT_EQ(report.completed, 4u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "cell=2");
+  EXPECT_EQ(report.failures[0].error, CellErrorClass::kException);
+  EXPECT_EQ(report.failures[0].attempts, 1u);
+  EXPECT_EQ(report.failures[0].message, "boom");
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], i == 2 ? 0.0 : 1.0) << "cell " << i;
+  }
+}
+
+TEST(Executor, BudgetExceededAbortsWithAllRecordedFailures) {
+  std::vector<CellTask> tasks;
+  for (const char* key : {"a", "b", "c"}) {
+    tasks.push_back(CellTask{key, [key](CellContext&) {
+                               throw std::runtime_error(
+                                   std::string("bad ") + key);
+                             }});
+  }
+  ExecutorOptions opt;
+  opt.max_failures = 1;  // second failure blows the budget
+  try {
+    (void)Executor{opt}.run(std::move(tasks));
+    FAIL() << "expected FailureBudgetExceeded";
+  } catch (const FailureBudgetExceeded& e) {
+    EXPECT_NE(std::string(e.what()).find("failure budget exceeded"),
+              std::string::npos);
+    // jobs=1: "a" fails within budget, "b" blows it, "c" is never issued.
+    EXPECT_NE(std::string(e.what()).find("2 failed cells, budget 1"),
+              std::string::npos);
+    ASSERT_GE(e.failures().size(), 2u);
+    // Sorted by cell key regardless of completion order.
+    for (std::size_t i = 1; i < e.failures().size(); ++i) {
+      EXPECT_LT(e.failures()[i - 1].cell, e.failures()[i].cell);
+    }
+  }
+}
+
+TEST(Executor, RetryRecoversNonFiniteViaTheAttemptNumber) {
+  std::atomic<std::size_t> invocations{0};
+  double out = 0.0;
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"flaky", [&](CellContext& ctx) {
+                             invocations.fetch_add(1);
+                             if (ctx.attempt == 0) {
+                               throw NumericalError("NaN on first try");
+                             }
+                             out = 42.0;  // fallback path on retry
+                           }});
+  ExecutorOptions opt = fast_retry_options();
+  opt.max_attempts = 2;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(invocations.load(), 2u);
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(Executor, RetryExhaustionReportsNonFiniteWithAttemptCount) {
+  std::atomic<std::size_t> invocations{0};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"hopeless", [&](CellContext&) {
+                             invocations.fetch_add(1);
+                             throw NumericalError("always NaN");
+                           }});
+  ExecutorOptions opt = fast_retry_options();
+  opt.max_attempts = 3;
+  opt.max_failures = 1;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  EXPECT_EQ(report.completed, 0u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].error, CellErrorClass::kNonFinite);
+  EXPECT_EQ(report.failures[0].attempts, 3u);
+  EXPECT_EQ(invocations.load(), 3u);
+}
+
+TEST(Executor, GenericExceptionsAreNotRetried) {
+  std::atomic<std::size_t> invocations{0};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"broken", [&](CellContext&) {
+                             invocations.fetch_add(1);
+                             throw std::runtime_error("logic bug");
+                           }});
+  ExecutorOptions opt = fast_retry_options();
+  opt.max_attempts = 5;
+  opt.max_failures = 1;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].error, CellErrorClass::kException);
+  EXPECT_EQ(report.failures[0].attempts, 1u);
+  EXPECT_EQ(invocations.load(), 1u);  // retry is for non-finite only
+}
+
+TEST(Executor, WatchdogTimesOutStuckCellWhileOthersComplete) {
+  double fast_out = 0.0;
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"stuck", [](CellContext& ctx) {
+                             // Cooperative spin: poll until the watchdog
+                             // fires the deadline.
+                             while (true) {
+                               ctx.throw_if_cancelled("stuck cell");
+                             }
+                           }});
+  tasks.push_back(CellTask{"fast", [&fast_out](CellContext&) {
+                             fast_out = 1.0;
+                           }});
+  ExecutorOptions opt;
+  opt.jobs = 2;
+  opt.cell_timeout_seconds = 0.05;
+  opt.max_failures = 1;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(fast_out, 1.0);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cell, "stuck");
+  EXPECT_EQ(report.failures[0].error, CellErrorClass::kTimeout);
+  EXPECT_NE(report.failures[0].message.find("soft deadline"),
+            std::string::npos);
+  EXPECT_NE(report.failures[0].message.find("stuck cell"),
+            std::string::npos);
+}
+
+TEST(Executor, ThrowingAndTimingOutCellsAreBothIsolatedAndClassified) {
+  // The acceptance grid: one cell always throws, one overruns its
+  // deadline, the rest complete. Within the budget the run finishes and
+  // reports both failures with the right class; beyond it, it aborts.
+  const auto make_tasks = [](std::vector<double>& out) {
+    std::vector<CellTask> tasks;
+    tasks.push_back(CellTask{"grid=0/bad", [](CellContext&) {
+                               throw std::runtime_error("always throws");
+                             }});
+    tasks.push_back(CellTask{"grid=1/slow", [](CellContext& ctx) {
+                               while (true) {
+                                 ctx.throw_if_cancelled("slow cell");
+                               }
+                             }});
+    for (std::size_t i = 0; i < 3; ++i) {
+      tasks.push_back(CellTask{"grid=" + std::to_string(i + 2) + "/ok",
+                               [&out, i](CellContext&) { out[i] = 1.0; }});
+    }
+    return tasks;
+  };
+
+  ExecutorOptions opt;
+  opt.jobs = 2;
+  opt.cell_timeout_seconds = 0.05;
+  opt.max_failures = 2;
+  std::vector<double> out(3, 0.0);
+  const ExecutorReport report = Executor{opt}.run(make_tasks(out));
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(out, std::vector<double>({1.0, 1.0, 1.0}));
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].cell, "grid=0/bad");
+  EXPECT_EQ(report.failures[0].error, CellErrorClass::kException);
+  EXPECT_EQ(report.failures[1].cell, "grid=1/slow");
+  EXPECT_EQ(report.failures[1].error, CellErrorClass::kTimeout);
+  const std::string summary = failure_summary(report.failures);
+  EXPECT_NE(summary.find("grid=0/bad: exception"), std::string::npos);
+  EXPECT_NE(summary.find("grid=1/slow: timeout"), std::string::npos);
+
+  // The same grid with a one-failure budget blows the circuit breaker.
+  opt.max_failures = 1;
+  std::vector<double> out2(3, 0.0);
+  EXPECT_THROW((void)Executor{opt}.run(make_tasks(out2)),
+               FailureBudgetExceeded);
+}
+
+TEST(Executor, PreCancelledRunStartsNothing) {
+  CancellationToken token;
+  token.request_cancel();
+  std::atomic<std::size_t> invocations{0};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"never", [&](CellContext&) {
+                             invocations.fetch_add(1);
+                           }});
+  ExecutorOptions opt;
+  opt.cancel = &token;
+  EXPECT_THROW((void)Executor{opt}.run(std::move(tasks)), Cancelled);
+  EXPECT_EQ(invocations.load(), 0u);
+}
+
+TEST(Executor, MidRunCancellationStopsAtTheNextCellBoundary) {
+  CancellationToken token;
+  std::atomic<std::size_t> invocations{0};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"first", [&](CellContext& ctx) {
+                             invocations.fetch_add(1);
+                             token.request_cancel();
+                             ctx.throw_if_cancelled("first interrupted");
+                           }});
+  tasks.push_back(CellTask{"second", [&](CellContext&) {
+                             invocations.fetch_add(1);
+                           }});
+  ExecutorOptions opt;
+  opt.jobs = 1;
+  opt.cancel = &token;
+  try {
+    (void)Executor{opt}.run(std::move(tasks));
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& e) {
+    // The original in-cell Cancelled (with its context) propagates.
+    EXPECT_NE(std::string(e.what()).find("first interrupted"),
+              std::string::npos);
+  }
+  EXPECT_EQ(invocations.load(), 1u);  // "second" was never issued
+}
+
+TEST(Executor, RunWideCancellationIsNotACellFailure) {
+  // A cell that completes after the run token fires is still counted as
+  // completed; cancellation is an interrupt, not a cell error.
+  CancellationToken token;
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"finishes", [&](CellContext&) {
+                             token.request_cancel();
+                             // returns normally: its deposit stands
+                           }});
+  tasks.push_back(CellTask{"skipped", [](CellContext&) {}});
+  ExecutorOptions opt;
+  opt.jobs = 1;
+  opt.cancel = &token;
+  EXPECT_THROW((void)Executor{opt}.run(std::move(tasks)), Cancelled);
+}
+
+TEST(CellContext, ChecksBothTokens) {
+  CancellationToken cell_token;
+  CancellationToken run_token;
+  CellContext ctx{&cell_token, &run_token, 0};
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_NO_THROW(ctx.throw_if_cancelled("work"));
+
+  run_token.request_cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_THROW(ctx.throw_if_cancelled("work"), Cancelled);
+
+  CancellationToken cell_only;
+  cell_only.request_cancel();
+  CellContext deadline_ctx{&cell_only, nullptr, 1};
+  EXPECT_TRUE(deadline_ctx.cancelled());
+  EXPECT_THROW(deadline_ctx.throw_if_cancelled("work"), Cancelled);
+  EXPECT_EQ(deadline_ctx.attempt, 1u);
+}
+
+TEST(Executor, ManyMoreTasksThanWorkersAllComplete) {
+  constexpr std::size_t kCells = 101;
+  std::atomic<std::size_t> sum{0};
+  std::vector<CellTask> tasks;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    tasks.push_back(CellTask{"cell=" + std::to_string(i),
+                             [&sum, i](CellContext&) {
+                               sum.fetch_add(i + 1);
+                             }});
+  }
+  ExecutorOptions opt;
+  opt.jobs = 8;
+  const ExecutorReport report = Executor{opt}.run(std::move(tasks));
+  EXPECT_EQ(report.completed, kCells);
+  EXPECT_EQ(sum.load(), kCells * (kCells + 1) / 2);
+}
+
+}  // namespace
+}  // namespace qbarren

@@ -8,6 +8,7 @@
 #include <csignal>
 #include <filesystem>
 
+#include "qbarren/bp/serialize.hpp"
 #include "qbarren/bp/training.hpp"
 #include "qbarren/bp/variance.hpp"
 #include "qbarren/circuit/ansatz.hpp"
@@ -531,6 +532,159 @@ TEST(ResumePositionalVariance, InterruptedRunMatchesReference) {
   ASSERT_EQ(result.variances.size(), reference.variances.size());
   for (std::size_t f = 0; f < reference.variances.size(); ++f) {
     EXPECT_EQ(result.variances[f], reference.variances[f]);  // exact
+  }
+}
+
+// --- parallel execution ------------------------------------------------------
+
+TEST(ParallelVariance, JobCountNeverChangesTheBytes) {
+  const VarianceExperimentOptions options = small_variance_options();
+  const VarianceExperiment experiment(options);
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const std::vector<const Initializer*> inits = {random.get(), xavier.get()};
+  const std::string fingerprint = options_fingerprint(options);
+
+  // The strongest form of the determinism contract: the rendered JSON and
+  // the checkpoint byte stream are identical at any job count.
+  std::string reference_json;
+  std::string reference_ckpt;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    Checkpoint ckpt("", fingerprint);  // in-memory store
+    RunControl control;
+    control.jobs = jobs;
+    control.checkpoint = &ckpt;
+    const VarianceResult result = experiment.run(inits, control);
+    EXPECT_TRUE(result.failures.empty());
+    const std::string json = to_json(result).dump();
+    const std::string bytes = ckpt.serialize();
+    if (reference_json.empty()) {
+      reference_json = json;
+      reference_ckpt = bytes;
+    } else {
+      EXPECT_EQ(json, reference_json) << "jobs=" << jobs;
+      EXPECT_EQ(bytes, reference_ckpt) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelVariance, FailureBudgetKeepsTheRunAliveAndReportsTheCell) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2};
+  options.circuits_per_point = 6;
+  options.layers = 2;
+  options.gradient_engine = "nan-at:3:parameter-shift";
+  const auto init = make_initializer("random");
+
+  RunControl control;
+  control.max_cell_failures = 1;
+  const VarianceResult result =
+      VarianceExperiment(options).run({init.get()}, control);
+
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].cell, "q=2/init=random");
+  EXPECT_EQ(result.failures[0].error, CellErrorClass::kNonFinite);
+  EXPECT_EQ(result.failures[0].attempts, 1u);
+  EXPECT_TRUE(std::isnan(result.series[0].points[0].variance));
+
+  // The failure is self-describing in the result JSON.
+  const std::string json = to_json(result).dump();
+  EXPECT_NE(json.find("\"failures\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"non-finite\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell\":\"q=2/init=random\""), std::string::npos);
+  // And in the human-readable summary.
+  const std::string summary = failure_summary(result.failures);
+  EXPECT_NE(summary.find("cell q=2/init=random: non-finite after 1"),
+            std::string::npos);
+}
+
+TEST(ParallelVariance, RetryRecoversTheCellBitForBit) {
+  VarianceExperimentOptions faulty;
+  faulty.qubit_counts = {2};
+  faulty.circuits_per_point = 6;
+  faulty.layers = 2;
+  faulty.gradient_engine = "nan-at:3:parameter-shift";
+  VarianceExperimentOptions clean = faulty;
+  clean.gradient_engine = "parameter-shift";
+  const auto init = make_initializer("random");
+
+  const VarianceResult reference = VarianceExperiment(clean).run({init.get()});
+
+  // Attempt 0 hits the poisoned sample; the retry switches the cell to the
+  // plain parameter-shift fallback, whose samples match the clean engine's
+  // exactly (cells re-draw from their own RNG child streams).
+  RunControl control;
+  control.max_cell_attempts = 2;
+  const VarianceResult result =
+      VarianceExperiment(faulty).run({init.get()}, control);
+  EXPECT_TRUE(result.failures.empty());
+  expect_same_variance(reference, result);
+}
+
+TEST(ParallelTraining, WatchdogDeadlineIsReportedAsTimeout) {
+  TrainingExperimentOptions options;
+  options.qubits = 6;
+  options.layers = 3;
+  options.iterations = 200;
+  options.gradient_engine = "parameter-shift";  // deliberately slow
+  const auto init = make_initializer("xavier-normal");
+
+  RunControl control;
+  control.cell_timeout_seconds = 0.0;  // fires on the watchdog's first sweep
+  control.max_cell_failures = 1;
+  const TrainingResult result =
+      TrainingExperiment(options).run({init.get()}, control);
+
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].cell, "init=xavier-normal");
+  EXPECT_EQ(result.failures[0].error, CellErrorClass::kTimeout);
+  EXPECT_NE(result.failures[0].message.find("soft deadline"),
+            std::string::npos);
+  EXPECT_TRUE(std::isnan(result.series[0].result.final_loss));
+}
+
+TEST(ParallelSweep, JobsMatchSerialExactly) {
+  TrainingSweepOptions sweep;
+  sweep.base.qubits = 3;
+  sweep.base.layers = 2;
+  sweep.base.iterations = 4;
+  sweep.repetitions = 2;
+  const auto a = make_initializer("random");
+  const auto b = make_initializer("xavier-normal");
+  const std::vector<const Initializer*> inits = {a.get(), b.get()};
+
+  const TrainingSweepResult serial = run_training_sweep(inits, sweep);
+  RunControl control;
+  control.jobs = 8;
+  const TrainingSweepResult parallel =
+      run_training_sweep(inits, sweep, control);
+
+  EXPECT_TRUE(parallel.failures.empty());
+  ASSERT_EQ(parallel.series.size(), serial.series.size());
+  for (std::size_t s = 0; s < serial.series.size(); ++s) {
+    EXPECT_EQ(parallel.series[s].initializer, serial.series[s].initializer);
+    EXPECT_EQ(parallel.series[s].final_losses,
+              serial.series[s].final_losses);  // exact, not NEAR
+    EXPECT_EQ(parallel.series[s].final_loss_summary.mean,
+              serial.series[s].final_loss_summary.mean);
+  }
+}
+
+TEST(ParallelPositionalVariance, JobsMatchSerialExactly) {
+  const VarianceExperimentOptions options = small_variance_options();
+  const auto init = make_initializer("xavier-normal");
+  const std::vector<double> fractions = {0.0, 0.5, 1.0};
+
+  const PositionalVarianceResult serial =
+      positional_variance(options, *init, fractions);
+  RunControl control;
+  control.jobs = 8;
+  const PositionalVarianceResult parallel =
+      positional_variance(options, *init, fractions, control);
+
+  ASSERT_EQ(parallel.variances.size(), serial.variances.size());
+  for (std::size_t f = 0; f < serial.variances.size(); ++f) {
+    EXPECT_EQ(parallel.variances[f], serial.variances[f]);
   }
 }
 
