@@ -60,7 +60,9 @@ struct TrainingResult {
   std::vector<CellFailure> failures;
 
   /// Loss-vs-iteration table (Fig 5b/5c data): one row per recorded
-  /// iteration (subsampled by `stride`), one column per initializer.
+  /// iteration (subsampled by `stride`), one column per initializer. Rows
+  /// cover the longest history; series with shorter (or empty, for failed
+  /// cells) histories render NaN cells past their end.
   [[nodiscard]] Table loss_table(std::size_t stride = 1) const;
 
   /// Final-loss summary: initializer, initial loss, final loss, loss drop.

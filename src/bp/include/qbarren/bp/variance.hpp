@@ -108,6 +108,13 @@ struct VarianceResult {
   [[nodiscard]] double improvement_percent(
       const std::string& initializer) const;
 
+  /// True when a "random" series exists and its decay fit is a usable
+  /// improvement baseline (>= 2 fitted points, finite slope with
+  /// magnitude > ~0) — i.e. improvement_percent() will not throw. False
+  /// on failure-degenerate or single-qubit-count runs, where reports
+  /// render the improvement as null / "n/a" instead of a value.
+  [[nodiscard]] bool has_improvement_baseline() const noexcept;
+
   [[nodiscard]] const VarianceSeries& find(
       const std::string& initializer) const;
 };

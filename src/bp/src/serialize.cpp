@@ -1,7 +1,5 @@
 #include "qbarren/bp/serialize.hpp"
 
-#include <cmath>
-
 namespace qbarren {
 
 namespace {
@@ -35,17 +33,17 @@ JsonValue to_json(const VarianceResult& result) {
   options.set("gradient_engine", result.options.gradient_engine);
   root.set("options", std::move(options));
 
-  // Improvements are only well-defined against a healthy random baseline;
-  // a failure-budget run can leave the random series degenerate (NaN
-  // variances, ~0 slope), in which case the field is omitted.
+  // The improvement field is emitted whenever a "random" series exists,
+  // keeping the schema stable; when its baseline fit is degenerate
+  // (failure-budget run, single qubit count) the value is null rather
+  // than the field silently disappearing.
   const bool have_random = [&] {
     for (const VarianceSeries& s : result.series) {
-      if (s.initializer == "random") {
-        return std::abs(s.decay_fit.slope) > 1e-12;
-      }
+      if (s.initializer == "random") return true;
     }
     return false;
   }();
+  const bool baseline_ok = result.has_improvement_baseline();
 
   JsonValue series = JsonValue::array();
   for (const VarianceSeries& s : result.series) {
@@ -65,7 +63,9 @@ JsonValue to_json(const VarianceResult& result) {
     entry.set("decay_fit", fit_to_json(s.decay_fit));
     if (have_random && s.initializer != "random") {
       entry.set("improvement_vs_random_percent",
-                result.improvement_percent(s.initializer));
+                baseline_ok
+                    ? JsonValue::number(result.improvement_percent(s.initializer))
+                    : JsonValue::null());
     }
     series.push_back(std::move(entry));
   }

@@ -1,5 +1,6 @@
 #include "qbarren/bp/training.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <mutex>
@@ -267,12 +268,24 @@ Table TrainingResult::loss_table(std::size_t stride) const {
   if (series.empty()) {
     return table;
   }
-  const std::size_t n = series.front().result.loss_history.size();
+  // Rows span the longest history: a failed series has an empty (and an
+  // aborted one a short) loss_history, and must render as NaN cells
+  // rather than truncate or over-index the surviving series.
+  std::size_t n = 0;
+  for (const TrainingSeries& s : series) {
+    n = std::max(n, s.result.loss_history.size());
+  }
+  const auto push_loss = [&table](const TrainingSeries& s, std::size_t it) {
+    table.push(it < s.result.loss_history.size()
+                   ? s.result.loss_history[it]
+                   : std::numeric_limits<double>::quiet_NaN(),
+               6);
+  };
   for (std::size_t it = 0; it < n; it += stride) {
     table.begin_row();
     table.push(it);
     for (const TrainingSeries& s : series) {
-      table.push(s.result.loss_history[it], 6);
+      push_loss(s, it);
     }
   }
   // Always include the final iterate even when stride skips it.
@@ -280,7 +293,7 @@ Table TrainingResult::loss_table(std::size_t stride) const {
     table.begin_row();
     table.push(n - 1);
     for (const TrainingSeries& s : series) {
-      table.push(s.result.loss_history[n - 1], 6);
+      push_loss(s, n - 1);
     }
   }
   return table;

@@ -520,6 +520,16 @@ double VarianceResult::improvement_percent(
   return (random_rate - target_rate) / random_rate * 100.0;
 }
 
+bool VarianceResult::has_improvement_baseline() const noexcept {
+  for (const VarianceSeries& s : series) {
+    if (s.initializer == "random") {
+      return s.decay_fit.n >= 2 && std::isfinite(s.decay_fit.slope) &&
+             std::abs(s.decay_fit.slope) > 1e-12;
+    }
+  }
+  return false;
+}
+
 Table VarianceResult::variance_table() const {
   std::vector<std::string> headers{"qubits"};
   for (const VarianceSeries& s : series) {
@@ -540,17 +550,17 @@ Table VarianceResult::variance_table() const {
 }
 
 Table VarianceResult::decay_table() const {
-  // Improvements need a healthy random baseline; a failure-budget run can
-  // leave the random series degenerate (NaN points, ~0 slope), in which
-  // case the column is dropped rather than throwing mid-print.
+  // The improvement column is present whenever a "random" series exists;
+  // when its baseline fit is degenerate (failure-budget run, single qubit
+  // count) the cells read "n/a" rather than throwing mid-print or
+  // silently dropping the column.
   const bool have_random = [&] {
     for (const VarianceSeries& s : series) {
-      if (s.initializer == "random") {
-        return std::abs(s.decay_fit.slope) > 1e-12;
-      }
+      if (s.initializer == "random") return true;
     }
     return false;
   }();
+  const bool baseline_ok = has_improvement_baseline();
 
   std::vector<std::string> headers{"initializer", "decay slope (ln Var/qubit)",
                                    "R^2"};
@@ -566,8 +576,10 @@ Table VarianceResult::decay_table() const {
     if (have_random) {
       if (s.initializer == "random") {
         table.push(std::string("(baseline)"));
-      } else {
+      } else if (baseline_ok) {
         table.push(improvement_percent(s.initializer), 1);
+      } else {
+        table.push(std::string("n/a"));
       }
     }
   }

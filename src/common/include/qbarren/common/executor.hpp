@@ -60,6 +60,15 @@ struct CellFailure {
   std::size_t attempts = 1;  ///< attempts consumed (>= 1)
 };
 
+/// Thrown when a cell exceeded its soft deadline and the run's failure
+/// budget is 0: a timeout is a run error, not a user interrupt, so it must
+/// not surface as Cancelled (the CLI maps Cancelled to the SIGINT exit
+/// convention).
+class CellTimeoutError : public Error {
+ public:
+  explicit CellTimeoutError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when more cells fail than `ExecutorOptions::max_failures`
 /// allows; carries every failure recorded before the abort.
 class FailureBudgetExceeded : public Error {
@@ -170,10 +179,13 @@ class Executor {
 
   /// Runs every task to completion (or until cancellation / budget
   /// exhaustion) and returns the report. Throws Cancelled when
-  /// `options.cancel` fired, the first failure's original exception when
-  /// max_failures == 0, and FailureBudgetExceeded when more than
-  /// max_failures cells failed. Synchronous: all worker and watchdog
-  /// threads are joined before it returns or throws.
+  /// `options.cancel` fired, and FailureBudgetExceeded when more than
+  /// max_failures cells failed. When max_failures == 0 the first failure's
+  /// original exception is rethrown instead ("first" by cell-key order,
+  /// skipping kCancelled casualties of the abort broadcast so the
+  /// causative error surfaces, not a cell it cancelled); a kTimeout
+  /// failure rethrows as CellTimeoutError. Synchronous: all worker and
+  /// watchdog threads are joined before it returns or throws.
   [[nodiscard]] ExecutorReport run(std::vector<CellTask> tasks) const;
 
   [[nodiscard]] const ExecutorOptions& options() const noexcept {

@@ -152,10 +152,15 @@ void run_cell(RunState& st, const ExecutorOptions& opt, std::size_t slot_idx,
       if (fired) {
         char bound[64];
         std::snprintf(bound, sizeof(bound), "%g", opt.cell_timeout_seconds);
+        std::string message = "cell exceeded its soft deadline of " +
+                              std::string(bound) + " s (" + e.what() + ")";
+        // The original is a dedicated timeout error, not the captured
+        // Cancelled: a budget-0 rethrow must read as a run error, not as
+        // a user interrupt (the CLI maps Cancelled to exit 130).
+        auto original = std::make_exception_ptr(
+            CellTimeoutError("cell '" + task.key + "': " + message));
         record_failure(st, opt, task, CellErrorClass::kTimeout,
-                       "cell exceeded its soft deadline of " +
-                           std::string(bound) + " s (" + e.what() + ")",
-                       attempt + 1, std::current_exception());
+                       std::move(message), attempt + 1, std::move(original));
         return;
       }
       if (opt.cancel != nullptr && opt.cancel->cancelled()) {
@@ -321,16 +326,29 @@ ExecutorReport Executor::run(std::vector<CellTask> tasks) const {
                      return st.failures[a].cell < st.failures[b].cell;
                    });
   std::vector<CellFailure> failures;
+  std::vector<std::exception_ptr> originals;
   failures.reserve(order.size());
+  originals.reserve(order.size());
   for (const std::size_t i : order) {
     failures.push_back(std::move(st.failures[i]));
+    originals.push_back(std::move(st.originals[i]));
   }
 
   if (failures.size() > options_.max_failures) {
     if (options_.max_failures == 0) {
       // Serial semantics: surface the first failure with its original
-      // type ("first" by key order, which is deterministic).
-      std::rethrow_exception(st.originals[order.front()]);
+      // type ("first" by key order, which is deterministic). In-flight
+      // cells cancelled by the budget-abort broadcast are casualties of
+      // the failure, not its cause — skip them so the causative error
+      // surfaces regardless of how keys interleave with scheduling.
+      std::size_t pick = 0;
+      for (std::size_t i = 0; i < failures.size(); ++i) {
+        if (failures[i].error != CellErrorClass::kCancelled) {
+          pick = i;
+          break;
+        }
+      }
+      std::rethrow_exception(originals[pick]);
     }
     // Build the message before std::move(failures): the evaluation order
     // of the two constructor arguments is unspecified.

@@ -156,6 +156,62 @@ TEST(Executor, BudgetZeroRethrowsOriginalExceptionType) {
   }
 }
 
+TEST(Executor, BudgetZeroSkipsCancelledCasualtiesWhenRethrowing) {
+  // jobs=2: "a/slow" (alphabetically first) is in flight when "b/bad"
+  // fails and blows the zero budget; the abort broadcast cancels
+  // "a/slow", which is recorded as a kCancelled casualty that sorts
+  // before the causative failure. The rethrow must surface the
+  // NumericalError, not the casualty's Cancelled (the CLI maps Cancelled
+  // to the SIGINT exit convention).
+  std::atomic<bool> slow_started{false};
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"a/slow", [&](CellContext& ctx) {
+                             slow_started.store(true);
+                             while (true) {
+                               ctx.throw_if_cancelled("slow casualty");
+                             }
+                           }});
+  tasks.push_back(CellTask{"b/bad", [&](CellContext&) {
+                             while (!slow_started.load()) {
+                             }
+                             throw NumericalError("the real failure");
+                           }});
+  ExecutorOptions opt;
+  opt.jobs = 2;
+  // A finite (generous) deadline keeps the watchdog alive so the
+  // budget-abort broadcast reaches the spinning casualty.
+  opt.cell_timeout_seconds = 60.0;
+  try {
+    (void)Executor{opt}.run(std::move(tasks));
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_NE(std::string(e.what()).find("the real failure"),
+              std::string::npos);
+  }
+}
+
+TEST(Executor, BudgetZeroTimeoutRethrowsAsCellTimeoutError) {
+  // A cell that merely overran its soft deadline is a run error, not a
+  // user interrupt: with the default zero budget it must not rethrow as
+  // Cancelled (which the CLI reports as "interrupted", exit 130).
+  std::vector<CellTask> tasks;
+  tasks.push_back(CellTask{"stuck", [](CellContext& ctx) {
+                             while (true) {
+                               ctx.throw_if_cancelled("stuck cell");
+                             }
+                           }});
+  ExecutorOptions opt;  // max_failures = 0
+  opt.cell_timeout_seconds = 0.05;
+  try {
+    (void)Executor{opt}.run(std::move(tasks));
+    FAIL() << "expected CellTimeoutError";
+  } catch (const CellTimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck"), std::string::npos) << what;
+    EXPECT_NE(what.find("soft deadline"), std::string::npos) << what;
+  }
+}
+
 TEST(Executor, FaultIsolationOneBadCellDoesNotSinkTheRun) {
   std::vector<double> out(5, 0.0);
   std::vector<CellTask> tasks;

@@ -113,6 +113,23 @@ TEST(Serialize, VarianceResultSchema) {
   EXPECT_NE(json.find("\"circuits_per_point\":6"), std::string::npos);
 }
 
+TEST(Serialize, VarianceImprovementIsNullOnDegenerateBaseline) {
+  // A single qubit count leaves the random series without a usable decay
+  // fit; the improvement field stays in the schema but carries null
+  // instead of disappearing.
+  VarianceExperimentOptions options;
+  options.qubit_counts = {2};
+  options.circuits_per_point = 6;
+  options.layers = 5;
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const VarianceResult result =
+      VarianceExperiment(options).run({random.get(), xavier.get()});
+  const std::string json = to_json(result).dump();
+  EXPECT_NE(json.find("\"improvement_vs_random_percent\":null"),
+            std::string::npos);
+}
+
 TEST(Serialize, TrainingResultSchema) {
   TrainingExperimentOptions options;
   options.qubits = 2;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "qbarren/init/registry.hpp"
 
 namespace qbarren {
@@ -128,6 +130,39 @@ TEST(TrainingResult, LossTableShapes) {
   EXPECT_EQ(strided.data().back()[0], "10");
 
   EXPECT_THROW((void)result.loss_table(0), InvalidArgument);
+}
+
+TEST(TrainingResult, LossTableToleratesFailedAndShortSeries) {
+  // A cell that failed within the failure budget keeps its series slot
+  // with an empty loss history. The table must span the longest history
+  // and render NaN cells for missing entries — neither read past a
+  // failed series' end nor drop all surviving data when the failed
+  // series happens to come first.
+  const std::string nan_cell =
+      format_fixed(std::numeric_limits<double>::quiet_NaN(), 6);
+  TrainingResult result;
+  result.series.resize(3);
+  result.series[0].initializer = "failed";  // empty history (failed cell)
+  result.series[1].initializer = "ok";
+  result.series[1].result.loss_history = {3.0, 2.0, 1.0, 0.5, 0.25};
+  result.series[2].initializer = "aborted";  // short history
+  result.series[2].result.loss_history = {3.0, 2.5};
+
+  const Table full = result.loss_table(1);
+  EXPECT_EQ(full.rows(), 5u);  // the longest history sets the row count
+  EXPECT_EQ(full.columns(), 4u);
+  EXPECT_EQ(full.data()[0][1], nan_cell);
+  EXPECT_EQ(full.data()[0][2], format_fixed(3.0, 6));
+  EXPECT_EQ(full.data()[0][3], format_fixed(3.0, 6));
+  EXPECT_EQ(full.data()[4][2], format_fixed(0.25, 6));
+  EXPECT_EQ(full.data()[4][3], nan_cell);  // past the short history's end
+
+  // The forced final row obeys the same bounds.
+  const Table strided = result.loss_table(3);
+  EXPECT_EQ(strided.rows(), 3u);  // iterations 0, 3, and the final 4
+  EXPECT_EQ(strided.data().back()[0], "4");
+  EXPECT_EQ(strided.data().back()[1], nan_cell);
+  EXPECT_EQ(strided.data().back()[2], format_fixed(0.25, 6));
 }
 
 TEST(TrainingResult, SummaryTableShapes) {

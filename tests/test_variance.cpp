@@ -168,9 +168,30 @@ TEST(VarianceResult, TablesHaveExpectedShape) {
   EXPECT_EQ(variance.headers()[1], "Var[random]");
 
   const Table decay = result.decay_table();
+  EXPECT_TRUE(result.has_improvement_baseline());
   EXPECT_EQ(decay.columns(), 4u);
   EXPECT_EQ(decay.rows(), 6u);
   EXPECT_EQ(decay.data()[0][3], "(baseline)");
+}
+
+TEST(VarianceResult, DegenerateBaselineKeepsImprovementColumnAsNa) {
+  // A single qubit count gives the random series no decay fit (n = 0):
+  // the improvement column stays in place with "n/a" cells instead of
+  // silently disappearing from an otherwise healthy run.
+  VarianceExperimentOptions options = small_options();
+  options.qubit_counts = {2};
+  options.circuits_per_point = 8;
+  options.layers = 6;
+  const auto random = make_initializer("random");
+  const auto xavier = make_initializer("xavier-normal");
+  const VarianceResult result =
+      VarianceExperiment(options).run({random.get(), xavier.get()});
+  EXPECT_FALSE(result.has_improvement_baseline());
+  const Table decay = result.decay_table();
+  EXPECT_EQ(decay.columns(), 4u);
+  ASSERT_EQ(decay.rows(), 2u);
+  EXPECT_EQ(decay.data()[0][3], "(baseline)");
+  EXPECT_EQ(decay.data()[1][3], "n/a");
 }
 
 TEST(VarianceResult, DecayTableOmitsImprovementWithoutRandom) {
