@@ -47,8 +47,14 @@ void reproduce() {
     table.push(paper_numbers.at(s.initializer), 1);
     table.push(result.improvement_percent(s.initializer), 1);
     table.push(s.decay_fit.slope, 4);
-    table.push("[" + format_fixed(ci.lower, 3) + ", " +
-               format_fixed(ci.upper, 3) + "]");
+    // Built via += because GCC 12 flags char*-plus-rvalue-string operator+
+    // with a spurious -Wrestrict under -Werror (GCC bug 105651).
+    std::string ci_cell = "[";
+    ci_cell += format_fixed(ci.lower, 3);
+    ci_cell += ", ";
+    ci_cell += format_fixed(ci.upper, 3);
+    ci_cell += "]";
+    table.push(std::move(ci_cell));
   }
   const SlopeConfidenceInterval random_ci =
       bootstrap_decay_ci(result.find("random"), 300, 0.95);

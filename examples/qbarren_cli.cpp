@@ -11,6 +11,18 @@
 //   qbarren_cli landscape  [--qubits 2,5,10] [--layers 100] [--grid 21]
 //   qbarren_cli express    [--qubits 4] [--layers 5] [--pairs 300]
 //   qbarren_cli lightcone  [--qubits 6] [--layers 10]
+//   qbarren_cli lint       --qasm <file> | --ansatz variance|training|
+//                          motivational [--qubits 10] [--layers 50]
+//                          [--cost global|local|zz] [--seed 42]
+//                          [--param last|middle|first] [--format table|json]
+//                          [--rules]
+//
+// `lint` statically analyzes a circuit (rules QB001-QB007: dead
+// parameters, barren-plateau risk, redundant rotations, ...) and exits 1
+// when any error-severity finding fires. The experiment runners
+// (variance / train / sweep) run the same analysis as a preflight:
+// --lint=warn (default) prints findings and launches, --lint=error
+// refuses to launch on error findings, --lint=off skips the check.
 //
 // Long runs (variance / train / sweep) accept --checkpoint <file>: every
 // completed cell is flushed atomically, Ctrl-C (SIGINT/SIGTERM) stops the
@@ -35,9 +47,12 @@
 // Run with no arguments for this help text.
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <limits>
 #include <optional>
+#include <sstream>
 
+#include "qbarren/analysis/preflight.hpp"
 #include "qbarren/bp/expressibility.hpp"
 #include "qbarren/bp/landscape.hpp"
 #include "qbarren/bp/lightcone.hpp"
@@ -48,6 +63,7 @@
 #include "qbarren/common/cli.hpp"
 #include "qbarren/common/executor.hpp"
 #include "qbarren/common/run.hpp"
+#include "qbarren/circuit/qasm_parser.hpp"
 #include "qbarren/common/version.hpp"
 #include "qbarren/init/registry.hpp"
 
@@ -117,6 +133,16 @@ void report_failures(const std::vector<CellFailure>& failures) {
                failures.size(), failure_summary(failures).c_str());
 }
 
+/// Runs an experiment's preflight lint under the subcommand's --lint mode
+/// (default warn). LintError propagates to main's handler -> exit 1, so
+/// --lint=error refuses the launch before any cell executes.
+void preflight(const CliArgs& args, const Diagnostics& diagnostics,
+               const char* what) {
+  const LintMode mode =
+      lint_mode_from_name(args.get_string("lint", "warn"));
+  enforce_preflight(diagnostics, mode, what);
+}
+
 int cmd_variance(const CliArgs& args) {
   VarianceExperimentOptions options;
   options.qubit_counts.clear();
@@ -130,7 +156,18 @@ int cmd_variance(const CliArgs& args) {
   options.cost = cost_kind_from_name(args.get_string("cost", "global"));
   options.gradient_engine =
       args.get_string("engine", options.gradient_engine);
+  const std::string which = args.get_string("param", "last");
+  if (which == "last") {
+    options.which_parameter = GradientParameter::kLast;
+  } else if (which == "middle") {
+    options.which_parameter = GradientParameter::kMiddle;
+  } else if (which == "first") {
+    options.which_parameter = GradientParameter::kFirst;
+  } else {
+    throw InvalidArgument("--param must be last, middle, or first");
+  }
 
+  preflight(args, lint_variance_options(options), "variance preflight");
   ResilientRun resilient(args, options_fingerprint(options));
   const VarianceResult result =
       VarianceExperiment(options).run_paper_set(FanMode::kLayerTensor,
@@ -174,6 +211,7 @@ TrainingExperimentOptions training_options_from(const CliArgs& args) {
 
 int cmd_train(const CliArgs& args) {
   const TrainingExperimentOptions options = training_options_from(args);
+  preflight(args, lint_training_options(options), "train preflight");
   ResilientRun resilient(args, options_fingerprint(options));
   const TrainingResult result =
       TrainingExperiment(options).run_paper_set(FanMode::kLayerTensor,
@@ -194,6 +232,7 @@ int cmd_sweep(const CliArgs& args) {
   options.base = training_options_from(args);
   options.repetitions =
       static_cast<std::size_t>(args.get_int("repetitions", 5));
+  preflight(args, lint_sweep_options(options), "sweep preflight");
   ResilientRun resilient(args, options_fingerprint(options));
   const auto owned = paper_initializers();
   const TrainingSweepResult result =
@@ -256,11 +295,93 @@ int cmd_lightcone(const CliArgs& args) {
   return 0;
 }
 
+int cmd_lint(const CliArgs& args) {
+  if (args.has("rules")) {
+    std::printf("%s", lint_rule_table().to_ascii().c_str());
+    return 0;
+  }
+
+  Circuit circuit(1);
+  CircuitLintContext context;
+  if (args.has("qasm")) {
+    const std::string path = args.get_string("qasm", "");
+    std::ifstream in(path, std::ios::binary);
+    QBARREN_REQUIRE(in.good(), "lint: cannot open QASM file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    circuit = parse_qasm(text.str()).circuit;
+  } else {
+    const std::string ansatz = args.get_string("ansatz", "");
+    QBARREN_REQUIRE(!ansatz.empty(),
+                    "lint needs --qasm <file> or --ansatz "
+                    "variance|training|motivational (or --rules)");
+    const auto qubits = static_cast<std::size_t>(args.get_int("qubits", 10));
+    if (ansatz == "variance") {
+      const auto layers =
+          static_cast<std::size_t>(args.get_int("layers", 100));
+      Rng rng(args.get_uint("seed", 42));
+      VarianceAnsatzOptions options;
+      options.layers = layers;
+      circuit = variance_ansatz(qubits, rng, options);
+    } else if (ansatz == "training") {
+      TrainingAnsatzOptions options;
+      options.layers = static_cast<std::size_t>(args.get_int("layers", 5));
+      circuit = training_ansatz(qubits, options);
+    } else if (ansatz == "motivational") {
+      circuit = motivational_ansatz(
+          qubits, static_cast<std::size_t>(args.get_int("layers", 100)));
+    } else {
+      throw InvalidArgument(
+          "--ansatz must be variance, training, or motivational");
+    }
+  }
+
+  // Usage context: what the circuit would be measured with (and, for the
+  // variance protocol, which parameter it differentiates).
+  if (args.has("cost")) {
+    const CostKind cost = cost_kind_from_name(args.get_string("cost", ""));
+    context.observable_qubits =
+        cost_observable_qubits(cost, circuit.num_qubits());
+    context.global_cost = is_global_cost(cost);
+    if (args.has("param") && circuit.num_parameters() > 0) {
+      const std::string which = args.get_string("param", "last");
+      if (which == "last") {
+        context.differentiated_parameter = circuit.num_parameters() - 1;
+      } else if (which == "middle") {
+        context.differentiated_parameter = circuit.num_parameters() / 2;
+      } else if (which == "first") {
+        context.differentiated_parameter = 0;
+      } else {
+        throw InvalidArgument("--param must be last, middle, or first");
+      }
+    }
+  }
+
+  const Diagnostics diagnostics = lint_circuit(circuit, context);
+  const std::string format = args.get_string("format", "table");
+  if (format == "json") {
+    std::printf("%s\n", to_json(diagnostics).dump(2).c_str());
+  } else if (format == "table") {
+    if (diagnostics.empty()) {
+      std::printf("no findings\n");
+    } else {
+      std::printf("%s", diagnostics_table(diagnostics).to_ascii().c_str());
+    }
+  } else {
+    throw InvalidArgument("--format must be table or json");
+  }
+  return has_errors(diagnostics) ? 1 : 0;
+}
+
 void print_help() {
   std::printf(
       "qbarren %s — barren-plateau experiments\n"
       "subcommands: variance | train | sweep | landscape | express | "
-      "lightcone\n"
+      "lightcone | lint\n"
+      "lint statically analyzes a circuit (--qasm <file> or --ansatz\n"
+      "variance|training|motivational; --rules lists rules QB001-QB007);\n"
+      "variance/train/sweep accept --lint=off|warn|error (default warn)\n"
+      "to gate the launch on the same analysis.\n"
       "long runs accept --checkpoint <file> [--resume]; train/sweep also\n"
       "accept --deadline-sec <s> and --nonfinite throw|abort|fallback.\n"
       "variance/train/sweep run cells in parallel: --jobs <n> (0 = all\n"
@@ -287,6 +408,7 @@ int main(int argc, char** argv) {
     if (command == "landscape") return cmd_landscape(args);
     if (command == "express") return cmd_express(args);
     if (command == "lightcone") return cmd_lightcone(args);
+    if (command == "lint") return cmd_lint(args);
     print_help();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
                  command.c_str());

@@ -1,0 +1,68 @@
+// Diagnostic model for qbarren's static analyzers.
+//
+// A Diagnostic is one finding of the circuit/experiment linter (lint.hpp):
+// a severity, a stable rule code ("QB001"...), a human message, and a
+// location string anchoring the finding in the analyzed artifact
+// ("param 99", "op 12", "q[3]", "options"). Findings render as a pretty
+// table (terminals, CI logs) or JSON (tooling; `qbarren lint
+// --format=json`), and the JSON round-trips through parse_json.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qbarren/common/json.hpp"
+#include "qbarren/common/table.hpp"
+
+namespace qbarren {
+
+/// Finding severity, ordered: kInfo < kWarning < kError. Error-severity
+/// findings predict a structurally broken or provably doomed run and make
+/// `qbarren lint` (and the runners' --lint=error preflight) fail.
+enum class Severity {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+/// Human-readable severity name ("info" / "warning" / "error").
+[[nodiscard]] std::string severity_name(Severity severity);
+
+/// Parses "info" / "warning" / "error"; throws NotFound otherwise.
+[[nodiscard]] Severity severity_from_name(const std::string& name);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;      ///< stable rule code, e.g. "QB001"
+  std::string message;   ///< what the rule found and what it predicts
+  std::string location;  ///< anchor in the analyzed artifact, "" = whole
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// True when any finding has Severity::kError.
+[[nodiscard]] bool has_errors(const Diagnostics& diagnostics);
+
+/// Number of findings at exactly the given severity.
+[[nodiscard]] std::size_t count_severity(const Diagnostics& diagnostics,
+                                         Severity severity);
+
+/// Findings as an aligned table: severity, code, location, message.
+[[nodiscard]] Table diagnostics_table(const Diagnostics& diagnostics);
+
+/// One finding as a JSON object {severity, code, message, location}.
+[[nodiscard]] JsonValue to_json(const Diagnostic& diagnostic);
+
+/// A full report: {schema, counts{info,warning,error}, diagnostics:[...]}.
+[[nodiscard]] JsonValue to_json(const Diagnostics& diagnostics);
+
+/// Inverse of to_json(const Diagnostic&); throws on missing/mistyped
+/// fields. Used by tests to prove the JSON rendering round-trips.
+[[nodiscard]] Diagnostic diagnostic_from_json(const JsonValue& value);
+
+/// Inverse of to_json(const Diagnostics&): extracts and validates the
+/// "diagnostics" array of a report object.
+[[nodiscard]] Diagnostics diagnostics_from_json(const JsonValue& value);
+
+}  // namespace qbarren

@@ -1,0 +1,105 @@
+#include "qbarren/analysis/diagnostic.hpp"
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Severity severity_from_name(const std::string& name) {
+  if (name == "info") return Severity::kInfo;
+  if (name == "warning") return Severity::kWarning;
+  if (name == "error") return Severity::kError;
+  throw NotFound("severity_from_name: unknown severity '" + name + "'");
+}
+
+bool has_errors(const Diagnostics& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::size_t count_severity(const Diagnostics& diagnostics,
+                           Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+Table diagnostics_table(const Diagnostics& diagnostics) {
+  Table table({"severity", "code", "location", "message"});
+  for (const Diagnostic& d : diagnostics) {
+    table.begin_row();
+    table.push(severity_name(d.severity));
+    table.push(d.code);
+    table.push(d.location.empty() ? "-" : d.location);
+    table.push(d.message);
+  }
+  return table;
+}
+
+JsonValue to_json(const Diagnostic& diagnostic) {
+  JsonValue obj = JsonValue::object();
+  obj.set("severity", severity_name(diagnostic.severity));
+  obj.set("code", diagnostic.code);
+  obj.set("message", diagnostic.message);
+  obj.set("location", diagnostic.location);
+  return obj;
+}
+
+JsonValue to_json(const Diagnostics& diagnostics) {
+  JsonValue report = JsonValue::object();
+  report.set("schema", "qbarren.diagnostics.v1");
+  JsonValue counts = JsonValue::object();
+  counts.set("info", count_severity(diagnostics, Severity::kInfo));
+  counts.set("warning", count_severity(diagnostics, Severity::kWarning));
+  counts.set("error", count_severity(diagnostics, Severity::kError));
+  report.set("counts", std::move(counts));
+  JsonValue list = JsonValue::array();
+  for (const Diagnostic& d : diagnostics) {
+    list.push_back(to_json(d));
+  }
+  report.set("diagnostics", std::move(list));
+  return report;
+}
+
+Diagnostic diagnostic_from_json(const JsonValue& value) {
+  QBARREN_REQUIRE(value.is_object(),
+                  "diagnostic_from_json: expected an object");
+  Diagnostic d;
+  d.severity = severity_from_name(value.at("severity").as_string());
+  d.code = value.at("code").as_string();
+  d.message = value.at("message").as_string();
+  d.location = value.at("location").as_string();
+  return d;
+}
+
+Diagnostics diagnostics_from_json(const JsonValue& value) {
+  QBARREN_REQUIRE(value.is_object() && value.contains("diagnostics"),
+                  "diagnostics_from_json: expected a report object with a "
+                  "'diagnostics' array");
+  const JsonValue& list = value.at("diagnostics");
+  QBARREN_REQUIRE(list.is_array(),
+                  "diagnostics_from_json: 'diagnostics' must be an array");
+  Diagnostics out;
+  out.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out.push_back(diagnostic_from_json(list.at(i)));
+  }
+  return out;
+}
+
+}  // namespace qbarren

@@ -1,0 +1,379 @@
+#include "qbarren/analysis/lint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "qbarren/bp/lightcone.hpp"
+#include "qbarren/common/error.hpp"
+#include "qbarren/linalg/checks.hpp"
+
+namespace qbarren {
+namespace {
+
+std::string param_location(std::size_t index) {
+  std::string loc = "param ";
+  loc += std::to_string(index);
+  return loc;
+}
+
+std::string op_location(std::size_t index) {
+  std::string loc = "op ";
+  loc += std::to_string(index);
+  return loc;
+}
+
+std::string qubit_location(std::size_t q) {
+  std::string loc = "q[";
+  loc += std::to_string(q);
+  loc += "]";
+  return loc;
+}
+
+/// Collects per-site findings for one rule, folding everything past
+/// `max_findings_per_rule` into a single "... and N more" summary so a
+/// pathological circuit cannot flood the report.
+class RuleSink {
+ public:
+  RuleSink(Diagnostics& out, const LintOptions& options, Severity severity,
+           std::string code)
+      : out_(out),
+        cap_(options.max_findings_per_rule),
+        severity_(severity),
+        code_(std::move(code)) {}
+
+  void add(std::string message, std::string location) {
+    ++total_;
+    if (total_ <= cap_) {
+      out_.push_back(
+          {severity_, code_, std::move(message), std::move(location)});
+    }
+  }
+
+  ~RuleSink() {
+    if (total_ > cap_) {
+      std::string message = "... and ";
+      message += std::to_string(total_ - cap_);
+      message += " more ";
+      message += code_;
+      message += " finding(s) suppressed (max_findings_per_rule = ";
+      message += std::to_string(cap_);
+      message += ")";
+      out_.push_back({severity_, code_, std::move(message), ""});
+    }
+  }
+
+  RuleSink(const RuleSink&) = delete;
+  RuleSink& operator=(const RuleSink&) = delete;
+
+ private:
+  Diagnostics& out_;
+  std::size_t cap_;
+  std::size_t total_ = 0;
+  Severity severity_;
+  std::string code_;
+};
+
+// --- QB001: structurally dead parameters -----------------------------------
+
+void rule_dead_parameters(const Circuit& circuit,
+                          const CircuitLintContext& context,
+                          const LintOptions& options, Diagnostics& out) {
+  if (context.observable_qubits.empty() || circuit.num_parameters() == 0) {
+    return;
+  }
+  const LightConeReport report =
+      analyze_light_cone(circuit, context.observable_qubits);
+  if (report.dead_count == 0) return;
+
+  // The parameter the experiment actually differentiates being dead is the
+  // worst case: every gradient sample the run would collect is exactly 0,
+  // so the measured "variance" is an artifact, not a barren-plateau signal.
+  if (context.differentiated_parameter.has_value()) {
+    const std::size_t k = *context.differentiated_parameter;
+    if (k < report.alive.size() && !report.alive[k]) {
+      const Operation& op = circuit.operation_for_parameter(k);
+      std::ostringstream msg;
+      msg << "differentiated parameter " << k << " (rotation on q["
+          << op.qubit0 << "]) is outside the observable's backward light "
+          << "cone: its gradient is identically zero, so every sample of "
+          << "this experiment measures exactly 0";
+      out.push_back({Severity::kError, "QB001", msg.str(), param_location(k)});
+    }
+  }
+
+  RuleSink sink(out, options, Severity::kWarning, "QB001");
+  for (std::size_t k = 0; k < report.alive.size(); ++k) {
+    if (report.alive[k]) continue;
+    if (context.differentiated_parameter == k) continue;  // reported above
+    const Operation& op = circuit.operation_for_parameter(k);
+    std::ostringstream msg;
+    msg << "parameter " << k << " (rotation on q[" << op.qubit0
+        << "]) has a structurally zero gradient for this observable "
+        << "(dead: " << report.dead_count << "/" << report.alive.size()
+        << " parameters)";
+    sink.add(msg.str(), param_location(k));
+  }
+}
+
+// --- QB002: barren-plateau risk (global cost x deep HEA) --------------------
+
+void rule_bp_risk(const Circuit& circuit, const CircuitLintContext& context,
+                  const LintOptions& options, Diagnostics& out) {
+  if (!context.global_cost) return;
+  const std::size_t n = circuit.num_qubits();
+  const std::size_t depth = circuit.depth();
+  if (n < options.bp_min_qubits || depth < options.bp_min_depth) return;
+
+  // McClean et al. 2018: once the circuit approximates a 2-design, the
+  // gradient variance of a global cost scales as O(2^-2n). The exact
+  // constant depends on the ansatz; ldexp gives the order-of-magnitude
+  // figure the paper's Fig 2 curves confirm empirically.
+  const double predicted = std::ldexp(1.0, -2 * static_cast<int>(
+                                               std::min<std::size_t>(n, 500)));
+  std::ostringstream msg;
+  msg << "global cost on a " << n << "-qubit, depth-" << depth
+      << " hardware-efficient circuit: predicted gradient variance ~2^(-2*"
+      << n << ") = " << predicted
+      << " (barren plateau; McClean et al. 2018). Consider a local cost "
+      << "(Cerezo et al. 2021) or a variance-preserving initializer";
+  out.push_back({Severity::kWarning, "QB002", msg.str(), "cost"});
+}
+
+// --- QB003: redundant adjacent same-axis rotations --------------------------
+
+bool is_rotation_kind(OpKind kind) {
+  return kind == OpKind::kRotation || kind == OpKind::kFixedRotation;
+}
+
+void rule_redundant_rotations(const Circuit& circuit,
+                              const LintOptions& options, Diagnostics& out) {
+  RuleSink sink(out, options, Severity::kWarning, "QB003");
+  // prev_rot[q] = index of the last op touching q, if it was a single-qubit
+  // rotation; any intervening op on q (of any kind) resets the slot. This
+  // is the same adjacency notion fuse_rotations() in circuit/optimize.hpp
+  // uses, so every finding is mechanically fixable by that pass.
+  std::vector<std::optional<std::size_t>> prev_rot(circuit.num_qubits());
+  const std::vector<Operation>& ops = circuit.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (is_two_qubit(op.kind) || op.kind == OpKind::kControlledRotation) {
+      prev_rot[op.qubit0].reset();
+      prev_rot[op.qubit1].reset();
+      continue;
+    }
+    if (!is_rotation_kind(op.kind)) {
+      prev_rot[op.qubit0].reset();
+      continue;
+    }
+    if (prev_rot[op.qubit0].has_value()) {
+      const Operation& prev = ops[*prev_rot[op.qubit0]];
+      if (prev.axis == op.axis) {
+        std::ostringstream msg;
+        msg << "adjacent " << gates::axis_name(op.axis) << " rotations on q["
+            << op.qubit0 << "] (ops " << *prev_rot[op.qubit0] << ", " << i
+            << ") compose to one rotation; the pair adds depth and an "
+            << "over-parameterized direction (fuse_rotations() merges them)";
+        sink.add(msg.str(), op_location(i));
+      }
+    }
+    prev_rot[op.qubit0] = i;
+  }
+}
+
+// --- QB004: qubits no entangler touches -------------------------------------
+
+void rule_unentangled_qubits(const Circuit& circuit, const LintOptions& options,
+                             Diagnostics& out) {
+  if (circuit.num_qubits() < 2) return;  // nothing to entangle with
+  std::vector<bool> entangled(circuit.num_qubits(), false);
+  for (const Operation& op : circuit.operations()) {
+    if (is_two_qubit(op.kind) || op.kind == OpKind::kControlledRotation) {
+      entangled[op.qubit0] = true;
+      entangled[op.qubit1] = true;
+    }
+  }
+  RuleSink sink(out, options, Severity::kWarning, "QB004");
+  for (std::size_t q = 0; q < entangled.size(); ++q) {
+    if (entangled[q]) continue;
+    std::ostringstream msg;
+    msg << "q[" << q << "] is never touched by an entangling gate: the "
+        << "state stays a product across this cut, so the circuit cannot "
+        << "be the hardware-efficient ansatz the experiment assumes";
+    sink.add(msg.str(), qubit_location(q));
+  }
+}
+
+// --- QB005: layer-shape / parameter-count mismatch --------------------------
+
+void rule_layer_shape(const Circuit& circuit, Diagnostics& out) {
+  const std::optional<LayerShape>& shape = circuit.layer_shape();
+  if (!shape.has_value()) {
+    if (circuit.num_parameters() > 0) {
+      out.push_back(
+          {Severity::kInfo, "QB005",
+           "circuit carries no layer-shape metadata; fan-based "
+           "initializers fall back to a single (1 x num_parameters) layer",
+           "layer_shape"});
+    }
+    return;
+  }
+  const std::size_t product = shape->layers * shape->params_per_layer;
+  if (product == circuit.num_parameters() && product > 0) return;
+  std::ostringstream msg;
+  msg << "layer shape (" << shape->layers << " x " << shape->params_per_layer
+      << " = " << product << ") does not tile the parameter vector ("
+      << circuit.num_parameters() << " parameters): fan-based initializers "
+      << "(init/fan.hpp) would compute fan-in/fan-out from a wrong tensor "
+      << "shape";
+  out.push_back({Severity::kWarning, "QB005", msg.str(), "layer_shape"});
+}
+
+// --- QB006: malformed custom gates ------------------------------------------
+
+void rule_custom_gates(const Circuit& circuit, const LintOptions& options,
+                       Diagnostics& out) {
+  if (circuit.custom_gates().empty()) return;
+  RuleSink sink(out, options, Severity::kError, "QB006");
+  const std::vector<Operation>& ops = circuit.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (op.kind != OpKind::kCustomSingle && op.kind != OpKind::kCustomTwo) {
+      continue;
+    }
+    const CustomGate& gate = circuit.custom_gate(op);
+    const std::size_t dim = op.kind == OpKind::kCustomSingle ? 2 : 4;
+    if (gate.matrix.rows() != dim || gate.matrix.cols() != dim) {
+      std::ostringstream msg;
+      msg << "custom gate '" << gate.name << "' is " << gate.matrix.rows()
+          << "x" << gate.matrix.cols() << " but its "
+          << (dim == 2 ? "single" : "two") << "-qubit use needs " << dim << "x"
+          << dim << "; apply() would throw at execution";
+      sink.add(msg.str(), op_location(i));
+      continue;
+    }
+    if (!is_unitary(gate.matrix, options.unitarity_tolerance)) {
+      std::ostringstream msg;
+      msg << "custom gate '" << gate.name << "' is not unitary (max |u^H u"
+          << " - I| exceeds " << options.unitarity_tolerance
+          << "): simulation would silently denormalize the state";
+      sink.add(msg.str(), op_location(i));
+    }
+  }
+}
+
+}  // namespace
+
+bool LintOptions::rule_enabled(const std::string& code) const {
+  return std::find(disabled_codes.begin(), disabled_codes.end(), code) ==
+         disabled_codes.end();
+}
+
+Diagnostics lint_circuit(const Circuit& circuit,
+                         const CircuitLintContext& context,
+                         const LintOptions& options) {
+  for (std::size_t q : context.observable_qubits) {
+    QBARREN_REQUIRE(q < circuit.num_qubits(),
+                    "lint_circuit: observable qubit out of range");
+  }
+  if (context.differentiated_parameter.has_value()) {
+    QBARREN_REQUIRE(*context.differentiated_parameter <
+                        circuit.num_parameters(),
+                    "lint_circuit: differentiated_parameter out of range");
+  }
+  Diagnostics out;
+  if (options.rule_enabled("QB001")) {
+    rule_dead_parameters(circuit, context, options, out);
+  }
+  if (options.rule_enabled("QB002")) {
+    rule_bp_risk(circuit, context, options, out);
+  }
+  if (options.rule_enabled("QB003")) {
+    rule_redundant_rotations(circuit, options, out);
+  }
+  if (options.rule_enabled("QB004")) {
+    rule_unentangled_qubits(circuit, options, out);
+  }
+  if (options.rule_enabled("QB005")) {
+    rule_layer_shape(circuit, out);
+  }
+  if (options.rule_enabled("QB006")) {
+    rule_custom_gates(circuit, options, out);
+  }
+  return out;
+}
+
+Diagnostics lint_seed_assignments(
+    const std::vector<std::pair<std::string, std::uint64_t>>& cells,
+    const LintOptions& options) {
+  Diagnostics out;
+  if (!options.rule_enabled("QB007")) return out;
+  std::map<std::uint64_t, std::vector<const std::string*>> by_seed;
+  for (const auto& [label, seed] : cells) {
+    by_seed[seed].push_back(&label);
+  }
+  RuleSink sink(out, options, Severity::kWarning, "QB007");
+  for (const auto& [seed, labels] : by_seed) {
+    if (labels.size() < 2) continue;
+    std::ostringstream msg;
+    msg << "seed " << seed << " is assigned to " << labels.size()
+        << " cells (";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) msg << ", ";
+      msg << *labels[i];
+    }
+    msg << "): their samples are identical draws, not independent "
+        << "replicates";
+    sink.add(msg.str(), "seed " + std::to_string(seed));
+  }
+  return out;
+}
+
+const std::vector<LintRuleInfo>& lint_rules() {
+  static const std::vector<LintRuleInfo> kRules = {
+      {"QB001", Severity::kError,
+       "structurally dead parameter: the observable's backward light cone "
+       "misses its rotation, so the gradient is identically zero",
+       "light-cone analysis; paper Sec. 2 (Eq 2 circuit vs local observable)"},
+      {"QB002", Severity::kWarning,
+       "global cost on a deep, wide hardware-efficient ansatz: predicted "
+       "~2^(-2n) gradient variance (barren plateau)",
+       "McClean et al. 2018; Cerezo et al. 2021; paper Eq 4"},
+      {"QB003", Severity::kWarning,
+       "adjacent same-axis rotations on one qubit compose to a single "
+       "rotation (wasted depth, over-parameterization)",
+       "circuit identities; circuit/optimize.hpp fuse_rotations()"},
+      {"QB004", Severity::kWarning,
+       "qubit untouched by any entangling gate: the register factors into "
+       "a product across that cut",
+       "hardware-efficient-ansatz structure; paper Sec. 3"},
+      {"QB005", Severity::kWarning,
+       "layer-shape metadata does not tile the parameter vector, so "
+       "fan-based initializers compute fans from a wrong tensor shape",
+       "paper Sec. 4 (Xavier/He initialization); init/fan.hpp"},
+      {"QB006", Severity::kError,
+       "custom gate matrix has wrong dimensions or is non-unitary; "
+       "simulation would throw or silently denormalize the state",
+       "unitarity of quantum evolution; linalg/checks.hpp"},
+      {"QB007", Severity::kWarning,
+       "RNG seed reused across experiment cells: their samples are "
+       "identical draws, not independent replicates",
+       "paper Sec. 5 experimental protocol (independent repetitions)"},
+  };
+  return kRules;
+}
+
+Table lint_rule_table() {
+  Table table({"code", "severity", "predicts", "source"});
+  for (const LintRuleInfo& rule : lint_rules()) {
+    table.begin_row();
+    table.push(rule.code);
+    table.push(severity_name(rule.severity));
+    table.push(rule.summary);
+    table.push(rule.reference);
+  }
+  return table;
+}
+
+}  // namespace qbarren

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "qbarren/obs/observable.hpp"
 
@@ -20,6 +21,18 @@ enum class CostKind {
     CostKind kind, std::size_t num_qubits);
 
 [[nodiscard]] std::string cost_kind_name(CostKind kind);
+
+/// Support of the cost observable: every qubit for the global and local
+/// costs (the local cost is a sum of one-qubit terms covering the whole
+/// register), {0, 1} for kPauliZZ. This is the support light-cone analysis
+/// (and lint rule QB001) propagates backward through the circuit.
+[[nodiscard]] std::vector<std::size_t> cost_observable_qubits(
+    CostKind kind, std::size_t num_qubits);
+
+/// True when the cost measures a joint property of every qubit at once
+/// (Eq 4's global projector) — the configuration McClean et al. 2018 and
+/// Cerezo et al. 2021 predict to be most barren-plateau-prone at depth.
+[[nodiscard]] bool is_global_cost(CostKind kind) noexcept;
 
 /// Parses "global" / "local" / "zz"; throws NotFound otherwise.
 [[nodiscard]] CostKind cost_kind_from_name(const std::string& name);

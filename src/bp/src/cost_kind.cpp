@@ -33,6 +33,26 @@ std::string cost_kind_name(CostKind kind) {
   return "?";
 }
 
+std::vector<std::size_t> cost_observable_qubits(CostKind kind,
+                                                std::size_t num_qubits) {
+  QBARREN_REQUIRE(num_qubits >= 1,
+                  "cost_observable_qubits: need at least one qubit");
+  if (kind == CostKind::kPauliZZ) {
+    QBARREN_REQUIRE(num_qubits >= 2,
+                    "cost_observable_qubits: ZZ needs >= 2 qubits");
+    return {0, 1};
+  }
+  std::vector<std::size_t> all(num_qubits);
+  for (std::size_t q = 0; q < num_qubits; ++q) {
+    all[q] = q;
+  }
+  return all;
+}
+
+bool is_global_cost(CostKind kind) noexcept {
+  return kind == CostKind::kGlobalZero;
+}
+
 CostKind cost_kind_from_name(const std::string& name) {
   if (name == "global") return CostKind::kGlobalZero;
   if (name == "local") return CostKind::kLocalZero;

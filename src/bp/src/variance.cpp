@@ -300,6 +300,18 @@ PositionalVarianceResult positional_variance(
                              RunControl{});
 }
 
+namespace {
+// Checkpoint key of fraction index f within a qubit-count cell. Built via
+// += rather than `"f" + std::to_string(f)` because GCC 12 flags the
+// char*-plus-rvalue-string operator+ with a spurious -Wrestrict under
+// -Werror (GCC bug 105651).
+std::string fraction_key(std::size_t f) {
+  std::string key = "f";
+  key += std::to_string(f);
+  return key;
+}
+}  // namespace
+
 PositionalVarianceResult positional_variance(
     const VarianceExperimentOptions& options, const Initializer& initializer,
     std::vector<double> fractions, const RunControl& control) {
@@ -347,7 +359,7 @@ PositionalVarianceResult positional_variance(
       if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
         for (std::size_t f = 0; f < result.fractions.size(); ++f) {
           const std::vector<double>& stored =
-              cell->vector("f" + std::to_string(f));
+              cell->vector(fraction_key(f));
           if (stored.size() != options.circuits_per_point) {
             throw CheckpointError(
                 "positional_variance: checkpoint cell " + key +
@@ -405,7 +417,7 @@ PositionalVarianceResult positional_variance(
           if (checkpoint != nullptr) {
             CheckpointCell cell;
             for (std::size_t f = 0; f < result.fractions.size(); ++f) {
-              cell.vectors["f" + std::to_string(f)] = samples[f];
+              cell.vectors[fraction_key(f)] = samples[f];
             }
             checkpoint->record_cell(key, std::move(cell));
           }

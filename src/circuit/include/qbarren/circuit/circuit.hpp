@@ -35,6 +35,8 @@ enum class OpKind {
   kCz,
   kCnot,
   kSwap,
+  kCustomSingle,  ///< caller-supplied 2x2 matrix (see Circuit::add_custom_gate)
+  kCustomTwo,     ///< caller-supplied 4x4 matrix on an ordered qubit pair
 };
 
 /// True for two-qubit op kinds.
@@ -48,8 +50,20 @@ struct Operation {
   gates::Axis axis = gates::Axis::kX;  ///< rotation axis (rotation kinds only)
   std::size_t qubit0 = 0;              ///< target / first qubit
   std::size_t qubit1 = 0;              ///< second qubit (two-qubit kinds only)
-  std::size_t param_index = 0;         ///< kRotation only
+  std::size_t param_index = 0;         ///< parameterized kinds only
   double fixed_angle = 0.0;            ///< kFixedRotation only
+  std::size_t custom_index = 0;        ///< kCustom*: index into custom_gates()
+};
+
+/// A caller-supplied gate matrix referenced by kCustomSingle / kCustomTwo
+/// operations. The matrix is stored exactly as given: dimensions and
+/// unitarity are intentionally NOT validated at insertion, so that static
+/// analysis (lint rule QB006) can flag inconsistent definitions before any
+/// simulation runs; execution validates dimensions at apply() time and
+/// throws InvalidArgument there.
+struct CustomGate {
+  std::string name;       ///< label used in listings and diagnostics
+  ComplexMatrix matrix;   ///< 2x2 (single) or 4x4 (two-qubit) when valid
 };
 
 /// Layer-tensor shape metadata attached by ansatz builders: the parameter
@@ -118,6 +132,27 @@ class Circuit {
   void add_cnot(std::size_t control, std::size_t target);
   void add_swap(std::size_t a, std::size_t b);
 
+  /// Appends a fixed gate with a caller-supplied matrix on one qubit. The
+  /// matrix should be 2x2 unitary; neither is checked here (see CustomGate
+  /// — lint rule QB006 performs the static check, apply() enforces the
+  /// dimensions at execution).
+  void add_custom_gate(std::string name, ComplexMatrix matrix,
+                       std::size_t qubit);
+
+  /// Appends a fixed two-qubit gate with a caller-supplied matrix. The
+  /// matrix's bit 0 corresponds to `q_low`; requires q_low < q_high. The
+  /// matrix should be 4x4 unitary (unchecked, as above).
+  void add_custom_two_qubit_gate(std::string name, ComplexMatrix matrix,
+                                 std::size_t q_low, std::size_t q_high);
+
+  /// Custom-gate table referenced by kCustomSingle / kCustomTwo ops.
+  [[nodiscard]] const std::vector<CustomGate>& custom_gates() const noexcept {
+    return custom_gates_;
+  }
+
+  /// The custom gate an operation references; requires a custom kind.
+  [[nodiscard]] const CustomGate& custom_gate(const Operation& op) const;
+
   /// Appends every operation of `other` (same width), remapping its
   /// parameter indices to fresh indices of this circuit.
   void append(const Circuit& other);
@@ -149,6 +184,12 @@ class Circuit {
   /// tests; exponential in width).
   [[nodiscard]] ComplexMatrix unitary(std::span<const double> params) const;
 
+  /// Dense matrix of the single operation at `op_index` (2x2 or 4x4,
+  /// matrix bit 0 = qubit0). Shared by the noisy simulator and the dense
+  /// reference path.
+  [[nodiscard]] ComplexMatrix operation_matrix(
+      std::size_t op_index, std::span<const double> params) const;
+
  private:
   void check_qubit(std::size_t q) const;
   [[nodiscard]] ComplexMatrix op_matrix(const Operation& op,
@@ -157,6 +198,7 @@ class Circuit {
   std::size_t num_qubits_ = 0;
   std::size_t num_params_ = 0;
   std::vector<Operation> ops_;
+  std::vector<CustomGate> custom_gates_;
   std::optional<LayerShape> layer_shape_;
 };
 

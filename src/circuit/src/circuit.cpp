@@ -10,6 +10,7 @@ bool is_two_qubit(OpKind kind) noexcept {
     case OpKind::kCnot:
     case OpKind::kSwap:
     case OpKind::kControlledRotation:
+    case OpKind::kCustomTwo:
       return true;
     default:
       return false;
@@ -181,16 +182,60 @@ void Circuit::add_swap(std::size_t a, std::size_t b) {
   ops_.push_back(op);
 }
 
+void Circuit::add_custom_gate(std::string name, ComplexMatrix matrix,
+                              std::size_t qubit) {
+  check_qubit(qubit);
+  Operation op;
+  op.kind = OpKind::kCustomSingle;
+  op.qubit0 = qubit;
+  op.custom_index = custom_gates_.size();
+  custom_gates_.push_back(CustomGate{std::move(name), std::move(matrix)});
+  ops_.push_back(op);
+}
+
+void Circuit::add_custom_two_qubit_gate(std::string name,
+                                        ComplexMatrix matrix,
+                                        std::size_t q_low,
+                                        std::size_t q_high) {
+  check_qubit(q_low);
+  check_qubit(q_high);
+  QBARREN_REQUIRE(q_low < q_high,
+                  "Circuit::add_custom_two_qubit_gate: q_low must be less "
+                  "than q_high (matrix bit 0 = q_low)");
+  Operation op;
+  op.kind = OpKind::kCustomTwo;
+  op.qubit0 = q_low;
+  op.qubit1 = q_high;
+  op.custom_index = custom_gates_.size();
+  custom_gates_.push_back(CustomGate{std::move(name), std::move(matrix)});
+  ops_.push_back(op);
+}
+
+const CustomGate& Circuit::custom_gate(const Operation& op) const {
+  QBARREN_REQUIRE(op.kind == OpKind::kCustomSingle ||
+                      op.kind == OpKind::kCustomTwo,
+                  "Circuit::custom_gate: operation is not a custom gate");
+  QBARREN_REQUIRE(op.custom_index < custom_gates_.size(),
+                  "Circuit::custom_gate: dangling custom-gate index");
+  return custom_gates_[op.custom_index];
+}
+
 void Circuit::append(const Circuit& other) {
   QBARREN_REQUIRE(other.num_qubits_ == num_qubits_,
                   "Circuit::append: width mismatch");
   const std::size_t base = num_params_;
+  const std::size_t custom_base = custom_gates_.size();
   for (Operation op : other.ops_) {
-    if (op.kind == OpKind::kRotation) {
+    if (is_parameterized(op.kind)) {
       op.param_index += base;
+    }
+    if (op.kind == OpKind::kCustomSingle || op.kind == OpKind::kCustomTwo) {
+      op.custom_index += custom_base;
     }
     ops_.push_back(op);
   }
+  custom_gates_.insert(custom_gates_.end(), other.custom_gates_.begin(),
+                       other.custom_gates_.end());
   num_params_ += other.num_params_;
   layer_shape_.reset();  // composite circuits have no single tensor shape
 }
@@ -254,6 +299,19 @@ void Circuit::apply_operation(std::size_t op_index, StateVector& state,
       state.apply_two_qubit(gates::swap(), std::min(op.qubit0, op.qubit1),
                             std::max(op.qubit0, op.qubit1));
       return;
+    case OpKind::kCustomSingle:
+      // The generic kernels validate the matrix dimensions and throw
+      // InvalidArgument on a malformed custom gate (lint rule QB006 flags
+      // those statically, before execution).
+      state.apply_single_qubit(custom_gates_[op.custom_index].matrix,
+                               op.qubit0);
+      return;
+    case OpKind::kCustomTwo:
+      // add_custom_two_qubit_gate enforces qubit0 < qubit1 with matrix
+      // bit 0 = qubit0, matching apply_two_qubit's (q_low, q_high) order.
+      state.apply_two_qubit(custom_gates_[op.custom_index].matrix,
+                            op.qubit0, op.qubit1);
+      return;
   }
   throw InvalidArgument("Circuit::apply_operation: unknown op kind");
 }
@@ -282,6 +340,15 @@ void Circuit::apply_operation_inverse(std::size_t op_index, StateVector& state,
       return;
     case OpKind::kTGate:
       state.apply_single_qubit(adjoint(gates::t_gate()), op.qubit0);
+      return;
+    case OpKind::kCustomSingle:
+      // Inverse = adjoint, valid only for unitary custom matrices (QB006).
+      state.apply_single_qubit(adjoint(custom_gates_[op.custom_index].matrix),
+                               op.qubit0);
+      return;
+    case OpKind::kCustomTwo:
+      state.apply_two_qubit(adjoint(custom_gates_[op.custom_index].matrix),
+                            op.qubit0, op.qubit1);
       return;
     default:
       // Hadamard, Paulis, CZ, CNOT, SWAP are involutions.
@@ -360,8 +427,18 @@ ComplexMatrix Circuit::op_matrix(const Operation& op,
       return gates::cnot();
     case OpKind::kSwap:
       return gates::swap();
+    case OpKind::kCustomSingle:
+    case OpKind::kCustomTwo:
+      return custom_gates_[op.custom_index].matrix;
   }
   throw InvalidArgument("Circuit::op_matrix: unknown op kind");
+}
+
+ComplexMatrix Circuit::operation_matrix(std::size_t op_index,
+                                        std::span<const double> params) const {
+  QBARREN_REQUIRE(op_index < ops_.size(),
+                  "Circuit::operation_matrix: index out of range");
+  return op_matrix(ops_[op_index], params);
 }
 
 ComplexMatrix Circuit::unitary(std::span<const double> params) const {

@@ -165,6 +165,18 @@ Circuit optimize_circuit(const Circuit& circuit, OptimizeStats* stats) {
       case OpKind::kSwap:
         out.add_swap(op.qubit0, op.qubit1);
         break;
+      case OpKind::kCustomSingle: {
+        // Opaque matrices: copied through untouched (no rewrite applies).
+        const CustomGate& gate = circuit.custom_gates()[op.custom_index];
+        out.add_custom_gate(gate.name, gate.matrix, op.qubit0);
+        break;
+      }
+      case OpKind::kCustomTwo: {
+        const CustomGate& gate = circuit.custom_gates()[op.custom_index];
+        out.add_custom_two_qubit_gate(gate.name, gate.matrix, op.qubit0,
+                                      op.qubit1);
+        break;
+      }
     }
   }
   QBARREN_REQUIRE(out.num_parameters() == circuit.num_parameters(),

@@ -71,6 +71,14 @@ std::string to_text(const Circuit& circuit) {
         oss << fixed_gate_name(op.kind) << " q[" << op.qubit0 << "], q["
             << op.qubit1 << "]\n";
         break;
+      case OpKind::kCustomSingle:
+        oss << "CUSTOM(" << circuit.custom_gate(op).name << ") q["
+            << op.qubit0 << "]\n";
+        break;
+      case OpKind::kCustomTwo:
+        oss << "CUSTOM(" << circuit.custom_gate(op).name << ") q["
+            << op.qubit0 << "], q[" << op.qubit1 << "]\n";
+        break;
       default:
         oss << fixed_gate_name(op.kind) << " q[" << op.qubit0 << "]\n";
         break;
@@ -130,6 +138,11 @@ std::string to_qasm(const Circuit& circuit, std::span<const double> params) {
       case OpKind::kSwap:
         oss << "swap q[" << op.qubit0 << "], q[" << op.qubit1 << "];\n";
         break;
+      case OpKind::kCustomSingle:
+      case OpKind::kCustomTwo:
+        throw InvalidArgument(
+            "to_qasm: OpenQASM 2 cannot express custom matrix gates "
+            "(gate '" + circuit.custom_gate(op).name + "')");
     }
   }
   return oss.str();

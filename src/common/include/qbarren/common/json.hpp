@@ -1,9 +1,11 @@
-// Minimal JSON document builder (write-only).
+// Minimal JSON document model: builder, serializer, and parser.
 //
 // Experiment results are exported as JSON for downstream plotting. This is
 // a value-tree builder with a standards-compliant serializer (string
-// escaping, non-finite numbers rendered as null per RFC 8259's exclusion);
-// qbarren never needs to *parse* JSON, so no parser is provided.
+// escaping, non-finite numbers rendered as null per RFC 8259's exclusion)
+// plus a recursive-descent parser (`parse_json`) used by round-trip tests
+// and tools that consume qbarren's own output (e.g. `qbarren lint
+// --format=json`).
 #pragma once
 
 #include <cstdint>
@@ -46,12 +48,52 @@ class JsonValue {
       const std::vector<double>& values);
 
   [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  /// True for both floating-point and integer numbers.
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  [[nodiscard]] bool is_integer() const noexcept {
+    return kind_ == Kind::kInteger;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
   [[nodiscard]] bool is_array() const noexcept {
     return kind_ == Kind::kArray;
   }
   [[nodiscard]] bool is_object() const noexcept {
     return kind_ == Kind::kObject;
   }
+
+  // --- read access (used by parse_json consumers) ---------------------------
+
+  /// Boolean value; throws InvalidArgument on other kinds.
+  [[nodiscard]] bool as_bool() const;
+
+  /// Numeric value (integers widen to double); throws on other kinds.
+  [[nodiscard]] double as_number() const;
+
+  /// Integer value; throws on other kinds (including kNumber).
+  [[nodiscard]] std::int64_t as_integer() const;
+
+  /// String value; throws on other kinds.
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Element/member count; throws on non-container kinds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Array element access; throws on out-of-range or non-array.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+
+  /// Object member access; throws NotFound on a missing key.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+
+  /// Sorted member keys of an object; throws on other kinds.
+  [[nodiscard]] std::vector<std::string> keys() const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces.
   [[nodiscard]] std::string dump(int indent = 0) const;
@@ -76,5 +118,14 @@ class JsonValue {
 /// failure.
 void write_json_file(const JsonValue& value, const std::string& path,
                      int indent = 2);
+
+/// Parses an RFC 8259 JSON document (objects, arrays, strings with the
+/// standard escapes including \uXXXX surrogate pairs, numbers, booleans,
+/// null). Numbers without a fraction or exponent that fit std::int64_t
+/// parse as integers, everything else as doubles — so dump() output
+/// round-trips kind-exactly (non-finite doubles were dumped as null and
+/// come back as null). Throws InvalidArgument with a byte offset on
+/// malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace qbarren

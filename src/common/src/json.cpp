@@ -1,6 +1,7 @@
 #include "qbarren/common/json.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "qbarren/common/error.hpp"
@@ -78,6 +79,70 @@ void JsonValue::set(const std::string& key, const char* value) {
 }
 void JsonValue::set(const std::string& key, bool value) {
   set(key, boolean(value));
+}
+
+bool JsonValue::as_bool() const {
+  QBARREN_REQUIRE(kind_ == Kind::kBool, "JsonValue::as_bool: not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ == Kind::kInteger) {
+    return static_cast<double>(integer_);
+  }
+  QBARREN_REQUIRE(kind_ == Kind::kNumber,
+                  "JsonValue::as_number: not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_integer() const {
+  QBARREN_REQUIRE(kind_ == Kind::kInteger,
+                  "JsonValue::as_integer: not an integer");
+  return integer_;
+}
+
+const std::string& JsonValue::as_string() const {
+  QBARREN_REQUIRE(kind_ == Kind::kString,
+                  "JsonValue::as_string: not a string");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  QBARREN_REQUIRE(kind_ == Kind::kObject,
+                  "JsonValue::size: not an array or object");
+  return object_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  QBARREN_REQUIRE(kind_ == Kind::kArray, "JsonValue::at: not an array");
+  QBARREN_REQUIRE(index < array_.size(),
+                  "JsonValue::at: array index out of range");
+  return array_[index];
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  QBARREN_REQUIRE(kind_ == Kind::kObject, "JsonValue::at: not an object");
+  const auto it = object_.find(key);
+  if (it == object_.end()) {
+    throw NotFound("JsonValue::at: no member named '" + key + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const noexcept {
+  return kind_ == Kind::kObject && object_.count(key) > 0;
+}
+
+std::vector<std::string> JsonValue::keys() const {
+  QBARREN_REQUIRE(kind_ == Kind::kObject, "JsonValue::keys: not an object");
+  std::vector<std::string> out;
+  out.reserve(object_.size());
+  for (const auto& [key, value] : object_) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
 }
 
 JsonValue JsonValue::number_array(const std::vector<double>& values) {
@@ -209,6 +274,250 @@ void write_json_file(const JsonValue& value, const std::string& path,
   // Atomic (temp + fsync + rename): a killed process never leaves a
   // truncated or corrupt results file behind.
   write_file_atomic(path, value.dump(indent) + '\n');
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a byte range.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("parse_json: " + what + " at byte " +
+                          std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (peek() != '\\') fail("unpaired UTF-16 surrogate");
+            ++pos_;
+            if (peek() != 'u') fail("unpaired UTF-16 surrogate");
+            ++pos_;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid UTF-16 low surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    bool is_integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    errno = 0;
+    char* end = nullptr;
+    if (is_integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue::integer(static_cast<std::int64_t>(v));
+      }
+      errno = 0;  // out of int64 range: fall through to double
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return JsonValue::number(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace qbarren

@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "qbarren/qsim/gates.hpp"
-
 namespace qbarren {
 
 NoiseModel make_depolarizing_model(double p1, double p2) {
@@ -13,63 +11,23 @@ NoiseModel make_depolarizing_model(double p1, double p2) {
   return model;
 }
 
-namespace {
-
-ComplexMatrix op_unitary(const Operation& op,
-                         std::span<const double> params) {
-  switch (op.kind) {
-    case OpKind::kRotation:
-      return gates::rotation(op.axis, params[op.param_index]);
-    case OpKind::kFixedRotation:
-      return gates::rotation(op.axis, op.fixed_angle);
-    case OpKind::kControlledRotation: {
-      const ComplexMatrix r =
-          gates::rotation(op.axis, params[op.param_index]);
-      ComplexMatrix full = ComplexMatrix::identity(4);
-      full(1, 1) = r.at_unchecked(0, 0);
-      full(1, 3) = r.at_unchecked(0, 1);
-      full(3, 1) = r.at_unchecked(1, 0);
-      full(3, 3) = r.at_unchecked(1, 1);
-      return full;
-    }
-    case OpKind::kHadamard:
-      return gates::hadamard();
-    case OpKind::kPauliX:
-      return gates::pauli_x();
-    case OpKind::kPauliY:
-      return gates::pauli_y();
-    case OpKind::kPauliZ:
-      return gates::pauli_z();
-    case OpKind::kSGate:
-      return gates::s_gate();
-    case OpKind::kTGate:
-      return gates::t_gate();
-    case OpKind::kCz:
-      return gates::cz();
-    case OpKind::kCnot:
-      return gates::cnot();
-    case OpKind::kSwap:
-      return gates::swap();
-  }
-  throw InvalidArgument("op_unitary: unknown op kind");
-}
-
-}  // namespace
-
 DensityMatrix simulate_noisy(const Circuit& circuit,
                              std::span<const double> params,
                              const NoiseModel& noise) {
   QBARREN_REQUIRE(params.size() == circuit.num_parameters(),
                   "simulate_noisy: parameter count mismatch");
   DensityMatrix rho(circuit.num_qubits());
-  for (const Operation& op : circuit.operations()) {
+  const auto& ops = circuit.operations();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
     if (is_two_qubit(op.kind)) {
       if (op.kind == OpKind::kCz) {
         rho.apply_cz(op.qubit0, op.qubit1);
       } else {
         // Matrix convention: op.qubit0 maps to matrix bit 0 (e.g. CNOT
         // control), matching Circuit::unitary's embedding.
-        rho.apply_unitary_2q(op_unitary(op, params), op.qubit0, op.qubit1);
+        rho.apply_unitary_2q(circuit.operation_matrix(i, params), op.qubit0,
+                             op.qubit1);
       }
       if (noise.two_qubit.has_value()) {
         rho.apply_channel_2q(*noise.two_qubit, op.qubit0, op.qubit1);
@@ -78,7 +36,7 @@ DensityMatrix simulate_noisy(const Circuit& circuit,
         rho.apply_channel_1q(*noise.single_qubit, op.qubit1);
       }
     } else {
-      rho.apply_unitary_1q(op_unitary(op, params), op.qubit0);
+      rho.apply_unitary_1q(circuit.operation_matrix(i, params), op.qubit0);
       if (noise.single_qubit.has_value()) {
         rho.apply_channel_1q(*noise.single_qubit, op.qubit0);
       }

@@ -1,0 +1,16 @@
+// Lint-clean hardware-efficient layer: alternating-axis rotations on every
+// qubit followed by a full CZ ladder. `qbarren lint --qasm` must exit 0.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+rx(0.1) q[0];
+ry(0.2) q[0];
+rx(0.3) q[1];
+ry(0.4) q[1];
+rx(0.5) q[2];
+ry(0.6) q[2];
+rx(0.7) q[3];
+ry(0.8) q[3];
+cz q[0], q[1];
+cz q[1], q[2];
+cz q[2], q[3];

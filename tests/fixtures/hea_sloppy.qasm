@@ -1,0 +1,14 @@
+// Deliberately sloppy circuit: back-to-back same-axis rotations on q[0]
+// (QB003) and a qubit no entangler touches (QB004, q[3]). Both findings
+// are warnings, so `qbarren lint --qasm` still exits 0 — the CI lint job
+// checks the warnings are reported without failing the build.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+rx(0.1) q[0];
+rx(0.2) q[0];
+ry(0.3) q[1];
+ry(0.4) q[2];
+rz(0.5) q[3];
+cz q[0], q[1];
+cz q[1], q[2];
