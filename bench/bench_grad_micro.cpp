@@ -4,8 +4,12 @@
 // training experiments default to adjoint while the variance analysis
 // (one partial derivative per circuit) uses parameter-shift like the
 // paper.
+#include <chrono>
+#include <functional>
+
 #include "bench_common.hpp"
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
 #include "qbarren/obs/observable.hpp"
 
@@ -78,6 +82,93 @@ void bm_single_partial_parameter_shift(benchmark::State& state) {
 }
 BENCHMARK(bm_single_partial_parameter_shift)->Arg(4)->Arg(10)
     ->Unit(benchmark::kMicrosecond);
+
+// --- compiled vs interpreted -----------------------------------------------
+//
+// Times the same single-threaded workload through the compiled execution
+// plan (the default) and through the interpreted op walk (plans disabled),
+// and reports the ratio plus the plan's lowering counters in the JSON
+// output. CI's bench-smoke step uploads these counters.
+
+void time_compiled_vs_interpreted(benchmark::State& state, const Setup& setup,
+                                  const Circuit& interpreted, int reps,
+                                  const std::function<void(const Circuit&)>& work) {
+  using Clock = std::chrono::steady_clock;
+  const auto plan = exec::plan_for(setup.circuit);
+  double compiled_seconds = 0.0;
+  double interpreted_seconds = 0.0;
+  // Untimed warmup of both paths: the first few repetitions pay cold
+  // caches and lazy gate-matrix statics, which would otherwise be charged
+  // entirely to whichever segment runs first.
+  for (int r = 0; r < 3; ++r) {
+    work(setup.circuit);
+    exec::ScopedExecutionPlans off(false);
+    work(interpreted);
+  }
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      work(setup.circuit);
+    }
+    const auto t1 = Clock::now();
+    {
+      exec::ScopedExecutionPlans off(false);
+      for (int r = 0; r < reps; ++r) {
+        work(interpreted);
+      }
+    }
+    const auto t2 = Clock::now();
+    compiled_seconds += std::chrono::duration<double>(t1 - t0).count();
+    interpreted_seconds += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["compiled_seconds"] = compiled_seconds / n;
+  state.counters["interpreted_seconds"] = interpreted_seconds / n;
+  state.counters["speedup"] = compiled_seconds > 0.0
+                                  ? interpreted_seconds / compiled_seconds
+                                  : 0.0;
+  if (plan != nullptr) {
+    const auto& stats = plan->stats();
+    state.counters["lowered_ops"] = static_cast<double>(stats.plan_ops);
+    state.counters["fused_ops"] = static_cast<double>(stats.fused_source_ops);
+    state.counters["matrices_cached"] =
+        static_cast<double>(stats.cached_matrices);
+  }
+}
+
+void bm_compiled_adjoint_deep_hea(benchmark::State& state) {
+  // Deep HEA, full adjoint gradient — the Fig 5b/5c training unit of work.
+  const Setup setup(6, 40);
+  const Circuit interpreted = setup.circuit;  // copied before lowering
+  const AdjointEngine engine;
+  time_compiled_vs_interpreted(
+      state, setup, interpreted, /*reps=*/20, [&](const Circuit& c) {
+        benchmark::DoNotOptimize(
+            engine.gradient(c, setup.observable, setup.params).data());
+      });
+  state.SetLabel("q=6 L=40 adjoint, compiled vs interpreted");
+}
+BENCHMARK(bm_compiled_adjoint_deep_hea)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void bm_compiled_parameter_shift_last_param(benchmark::State& state) {
+  // The Fig 5a unit of work: parameter-shift partial of the LAST
+  // parameter. The compiled path additionally reuses the prefix state
+  // before the shifted gate across both +-pi/2 evaluations.
+  const Setup setup(6, 40);
+  const Circuit interpreted = setup.circuit;
+  const ParameterShiftEngine engine;
+  const std::size_t last = setup.circuit.num_parameters() - 1;
+  time_compiled_vs_interpreted(
+      state, setup, interpreted, /*reps=*/200, [&](const Circuit& c) {
+        benchmark::DoNotOptimize(
+            engine.partial(c, setup.observable, setup.params, last));
+      });
+  state.SetLabel("q=6 L=40 parameter-shift last param, compiled vs "
+                 "interpreted");
+}
+BENCHMARK(bm_compiled_parameter_shift_last_param)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include "qbarren/circuit/ansatz.hpp"
 #include "qbarren/common/rng.hpp"
 #include "qbarren/common/stats.hpp"
+#include "qbarren/exec/compiled_circuit.hpp"
 
 namespace qbarren {
 
@@ -26,6 +27,8 @@ LandscapeResult scan_landscape(const LandscapeOptions& options) {
                       options.param_b < circuit.num_parameters(),
                   "scan_landscape: scanned parameter index out of range");
   const auto observable = make_cost_observable(options.cost, options.qubits);
+  // One lowering serves all grid_points^2 simulations of the scan.
+  static_cast<void>(exec::plan_for(circuit));
 
   Rng rng(options.seed);
   std::vector<double> params =

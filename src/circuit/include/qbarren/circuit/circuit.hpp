@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +19,61 @@
 #include "qbarren/qsim/statevector.hpp"
 
 namespace qbarren {
+
+/// Interface of a compiled execution plan (the exec layer's lowered form of
+/// a circuit). Declared here so a `Circuit` can carry an attached plan as
+/// opaque derived data without the circuit layer depending on exec; the
+/// only concrete implementation is `CompiledCircuit` in
+/// qbarren/exec/compiled_circuit.hpp.
+class ExecutionPlan {
+ public:
+  virtual ~ExecutionPlan() = default;
+
+  /// Sentinel for "no operation consumes this parameter".
+  static constexpr std::size_t kNoOperation = static_cast<std::size_t>(-1);
+
+  /// Applies the whole lowered program to `state` with `params` bound.
+  /// Must produce bit-identical amplitudes to the interpreted op-by-op
+  /// walk of the source circuit.
+  virtual void apply_to(StateVector& state,
+                        std::span<const double> params) const = 0;
+
+  /// Index, into the source circuit's operations(), of the first operation
+  /// that consumes `param_index`; kNoOperation when none does.
+  [[nodiscard]] virtual std::size_t source_op_for_parameter(
+      std::size_t param_index) const noexcept = 0;
+};
+
+namespace detail {
+
+/// Holds a circuit's attached execution plan behind a mutex so concurrent
+/// readers (the parallel experiment executor simulates shared circuits
+/// from many threads) are safe. Copying a circuit copies the attachment —
+/// the plan is immutable and describes the same operation list.
+class ExecutionPlanSlot {
+ public:
+  ExecutionPlanSlot() = default;
+  ExecutionPlanSlot(const ExecutionPlanSlot& other) : plan_(other.get()) {}
+  ExecutionPlanSlot& operator=(const ExecutionPlanSlot& other) {
+    if (this != &other) set(other.get());
+    return *this;
+  }
+
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> get() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+  }
+  void set(std::shared_ptr<const ExecutionPlan> plan) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::move(plan);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::shared_ptr<const ExecutionPlan> plan_;
+};
+
+}  // namespace detail
 
 enum class OpKind {
   kRotation,   ///< parameterized R_axis(theta_i) on one qubit
@@ -190,8 +247,25 @@ class Circuit {
   [[nodiscard]] ComplexMatrix operation_matrix(
       std::size_t op_index, std::span<const double> params) const;
 
+  // --- execution plan (exec layer cache) -----------------------------------
+
+  /// The attached compiled plan, or nullptr. Plans are derived data: they
+  /// change how fast the circuit executes, never what it computes.
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> execution_plan() const {
+    return plan_slot_.get();
+  }
+
+  /// Attaches a compiled plan (nullptr detaches). Const because the plan
+  /// is a cache keyed on the circuit's structure; any structural mutation
+  /// (add_*, append) detaches it automatically. Thread-safe.
+  void attach_execution_plan(std::shared_ptr<const ExecutionPlan> plan) const {
+    plan_slot_.set(std::move(plan));
+  }
+
  private:
   void check_qubit(std::size_t q) const;
+  void invalidate_execution_plan() { plan_slot_.set(nullptr); }
+  void push_op(const Operation& op);
   [[nodiscard]] ComplexMatrix op_matrix(const Operation& op,
                                         std::span<const double> params) const;
 
@@ -200,6 +274,7 @@ class Circuit {
   std::vector<Operation> ops_;
   std::vector<CustomGate> custom_gates_;
   std::optional<LayerShape> layer_shape_;
+  detail::ExecutionPlanSlot plan_slot_;
 };
 
 }  // namespace qbarren

@@ -29,6 +29,12 @@ void Circuit::check_qubit(std::size_t q) const {
   QBARREN_REQUIRE(q < num_qubits_, "Circuit: qubit index out of range");
 }
 
+void Circuit::push_op(const Operation& op) {
+  // Structural mutation: any previously compiled plan no longer matches.
+  invalidate_execution_plan();
+  ops_.push_back(op);
+}
+
 std::size_t Circuit::two_qubit_gate_count() const noexcept {
   std::size_t n = 0;
   for (const Operation& op : ops_) {
@@ -60,9 +66,17 @@ const Operation& Circuit::operation_for_parameter(
     std::size_t param_index) const {
   QBARREN_REQUIRE(param_index < num_params_,
                   "Circuit::operation_for_parameter: index out of range");
-  for (const Operation& op : ops_) {
-    if (is_parameterized(op.kind) && op.param_index == param_index) {
-      return op;
+  if (const auto plan = plan_slot_.get()) {
+    // Compiled param->op binding table: O(1) instead of the linear scan.
+    const std::size_t op_index = plan->source_op_for_parameter(param_index);
+    if (op_index != ExecutionPlan::kNoOperation && op_index < ops_.size()) {
+      return ops_[op_index];
+    }
+  } else {
+    for (const Operation& op : ops_) {
+      if (is_parameterized(op.kind) && op.param_index == param_index) {
+        return op;
+      }
     }
   }
   throw NotFound(
@@ -83,7 +97,7 @@ std::size_t Circuit::add_rotation(gates::Axis axis, std::size_t qubit) {
   op.axis = axis;
   op.qubit0 = qubit;
   op.param_index = num_params_++;
-  ops_.push_back(op);
+  push_op(op);
   return op.param_index;
 }
 
@@ -100,7 +114,7 @@ std::size_t Circuit::add_controlled_rotation(gates::Axis axis,
   op.qubit0 = control;
   op.qubit1 = target;
   op.param_index = num_params_++;
-  ops_.push_back(op);
+  push_op(op);
   return op.param_index;
 }
 
@@ -112,7 +126,7 @@ void Circuit::add_fixed_rotation(gates::Axis axis, std::size_t qubit,
   op.axis = axis;
   op.qubit0 = qubit;
   op.fixed_angle = angle;
-  ops_.push_back(op);
+  push_op(op);
 }
 
 namespace {
@@ -126,27 +140,27 @@ Operation single(OpKind kind, std::size_t qubit) {
 
 void Circuit::add_hadamard(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kHadamard, qubit));
+  push_op(single(OpKind::kHadamard, qubit));
 }
 void Circuit::add_pauli_x(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kPauliX, qubit));
+  push_op(single(OpKind::kPauliX, qubit));
 }
 void Circuit::add_pauli_y(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kPauliY, qubit));
+  push_op(single(OpKind::kPauliY, qubit));
 }
 void Circuit::add_pauli_z(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kPauliZ, qubit));
+  push_op(single(OpKind::kPauliZ, qubit));
 }
 void Circuit::add_s(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kSGate, qubit));
+  push_op(single(OpKind::kSGate, qubit));
 }
 void Circuit::add_t(std::size_t qubit) {
   check_qubit(qubit);
-  ops_.push_back(single(OpKind::kTGate, qubit));
+  push_op(single(OpKind::kTGate, qubit));
 }
 
 void Circuit::add_cz(std::size_t a, std::size_t b) {
@@ -157,7 +171,7 @@ void Circuit::add_cz(std::size_t a, std::size_t b) {
   op.kind = OpKind::kCz;
   op.qubit0 = a;
   op.qubit1 = b;
-  ops_.push_back(op);
+  push_op(op);
 }
 
 void Circuit::add_cnot(std::size_t control, std::size_t target) {
@@ -168,7 +182,7 @@ void Circuit::add_cnot(std::size_t control, std::size_t target) {
   op.kind = OpKind::kCnot;
   op.qubit0 = control;
   op.qubit1 = target;
-  ops_.push_back(op);
+  push_op(op);
 }
 
 void Circuit::add_swap(std::size_t a, std::size_t b) {
@@ -179,7 +193,7 @@ void Circuit::add_swap(std::size_t a, std::size_t b) {
   op.kind = OpKind::kSwap;
   op.qubit0 = a;
   op.qubit1 = b;
-  ops_.push_back(op);
+  push_op(op);
 }
 
 void Circuit::add_custom_gate(std::string name, ComplexMatrix matrix,
@@ -190,7 +204,7 @@ void Circuit::add_custom_gate(std::string name, ComplexMatrix matrix,
   op.qubit0 = qubit;
   op.custom_index = custom_gates_.size();
   custom_gates_.push_back(CustomGate{std::move(name), std::move(matrix)});
-  ops_.push_back(op);
+  push_op(op);
 }
 
 void Circuit::add_custom_two_qubit_gate(std::string name,
@@ -208,7 +222,7 @@ void Circuit::add_custom_two_qubit_gate(std::string name,
   op.qubit1 = q_high;
   op.custom_index = custom_gates_.size();
   custom_gates_.push_back(CustomGate{std::move(name), std::move(matrix)});
-  ops_.push_back(op);
+  push_op(op);
 }
 
 const CustomGate& Circuit::custom_gate(const Operation& op) const {
@@ -223,6 +237,7 @@ const CustomGate& Circuit::custom_gate(const Operation& op) const {
 void Circuit::append(const Circuit& other) {
   QBARREN_REQUIRE(other.num_qubits_ == num_qubits_,
                   "Circuit::append: width mismatch");
+  invalidate_execution_plan();
   const std::size_t base = num_params_;
   const std::size_t custom_base = custom_gates_.size();
   for (Operation op : other.ops_) {
@@ -246,6 +261,10 @@ void Circuit::apply(StateVector& state,
                   "Circuit::apply: register width mismatch");
   QBARREN_REQUIRE(params.size() == num_params_,
                   "Circuit::apply: parameter count mismatch");
+  if (const auto plan = plan_slot_.get()) {
+    plan->apply_to(state, params);
+    return;
+  }
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     apply_operation(i, state, params);
   }

@@ -1,0 +1,244 @@
+// Compiled execution plans: lower a Circuit once, run it many times.
+//
+// The paper's workloads re-execute the same circuit structure thousands of
+// times with different parameter bindings (200 sampled deep HEAs per
+// Fig 5a cell; 50 adjoint-gradient iterations over a fixed ansatz for
+// Fig 5b/5c). `CompiledCircuit` separates the one-time lowering from the
+// repeated execution:
+//
+//   * the op list is flattened into a stream of kernel ops;
+//   * every constant gate matrix is computed once and cached (shared
+//     across all applications; see also the function-local statics in
+//     qbarren/qsim/gates.hpp);
+//   * adjacent constant single-qubit gates on the same qubit are fused
+//     into a single one-pass kernel (their matrices are applied
+//     sequentially in registers, so the arithmetic — and therefore the
+//     result — is identical to applying them one at a time);
+//   * parameterized rotations run through allocation-free kernels
+//     (qbarren/exec/kernels.hpp) instead of heap-matrix dispatch;
+//   * a parameter -> op binding table replaces the linear
+//     operation_for_parameter scan.
+//
+// Results are bit-identical to the interpreted path: same op order, same
+// per-op arithmetic. Cached experiment results and checkpoints written
+// before this layer existed therefore stay valid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "qbarren/circuit/circuit.hpp"
+#include "qbarren/qsim/gates.hpp"
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+class Observable;  // qbarren/obs/observable.hpp
+}  // namespace qbarren
+
+namespace qbarren::exec {
+
+struct CompileOptions {
+  /// Fuse adjacent constant single-qubit gates on the same qubit into one
+  /// single-pass kernel.
+  bool fuse_single_qubit_runs = true;
+};
+
+class CompiledCircuit final : public ExecutionPlan {
+ public:
+  enum class Kernel : std::uint8_t {
+    kRotation,            ///< parameterized R_axis(params[param]) on qubit0
+    kControlledRotation,  ///< parameterized controlled-R, qubit0 = control
+    kFixedSingle,         ///< cached 2x2 on qubit0
+    kFusedSingle,         ///< run of >= 2 cached 2x2s on qubit0, one pass
+    kCnot,                ///< cached X on qubit1 controlled on qubit0
+    kCzGate,              ///< sign-flip fast path
+    kFixedTwo,            ///< cached 4x4 on (qubit0, qubit1)
+  };
+
+  struct PlanOp {
+    Kernel kernel = Kernel::kFixedSingle;
+    gates::Axis axis = gates::Axis::kX;  ///< rotation kernels only
+    std::uint32_t qubit0 = 0;
+    std::uint32_t qubit1 = 0;
+    std::uint32_t param = 0;        ///< rotation kernels: parameter index
+    std::uint32_t matrix = 0;       ///< fixed kernels: matrix-pool index
+    std::uint32_t fused_begin = 0;  ///< kFusedSingle: offset into run list
+    std::uint32_t fused_count = 0;  ///< kFusedSingle: gates in the run
+    std::uint32_t source_index = 0;  ///< first source op lowered here
+  };
+
+  struct Stats {
+    std::size_t source_ops = 0;        ///< operations in the source circuit
+    std::size_t plan_ops = 0;          ///< kernel ops after lowering
+    std::size_t fused_runs = 0;        ///< kFusedSingle ops emitted
+    std::size_t fused_source_ops = 0;  ///< source ops inside fused runs
+    std::size_t rotation_ops = 0;      ///< parameterized kernel ops
+    std::size_t cached_matrices = 0;   ///< distinct constant matrices cached
+  };
+
+  /// Lowers `circuit`. Throws InvalidArgument when a custom gate matrix
+  /// has the wrong dimensions for its kind (the interpreted path throws
+  /// the equivalent error at execution time; `plan_for` turns this into a
+  /// fall-back to interpreted execution so behavior is unchanged).
+  [[nodiscard]] static std::shared_ptr<const CompiledCircuit> compile(
+      const Circuit& circuit, const CompileOptions& options = {});
+
+  // --- ExecutionPlan -------------------------------------------------------
+
+  void apply_to(StateVector& state,
+                std::span<const double> params) const override;
+  [[nodiscard]] std::size_t source_op_for_parameter(
+      std::size_t param_index) const noexcept override;
+
+  // --- whole-program execution ---------------------------------------------
+
+  /// Runs the lowered program from |0...0>.
+  [[nodiscard]] StateVector simulate(std::span<const double> params) const;
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t num_parameters() const noexcept {
+    return num_params_;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Full reverse-mode ("adjoint") pass: forward run, value = <phi|H|phi>,
+  /// then the inverse double sweep accumulating dC/dtheta into `gradient`
+  /// (with +=, so callers pass a zeroed span). Each parameterized op's
+  /// forward and inverse rotation entries are computed once per call and
+  /// shared by the forward pass, the derivative, and both inverse
+  /// applications — the interpreted sweep evaluates that trig four times
+  /// per op. The arithmetic applied to the states is otherwise identical,
+  /// so value and gradient match the interpreted engine exactly.
+  double adjoint_value_and_gradient(const Observable& observable,
+                                    std::span<const double> params,
+                                    std::span<double> gradient) const;
+
+  // --- per-op execution (gradient engines) ---------------------------------
+
+  [[nodiscard]] std::size_t num_plan_ops() const noexcept {
+    return plan_ops_.size();
+  }
+
+  /// Applies plan ops [begin, end) in order.
+  void apply_plan_ops(StateVector& state, std::span<const double> params,
+                      std::size_t begin, std::size_t end) const;
+
+  void apply_plan_op(std::size_t k, StateVector& state,
+                     std::span<const double> params) const;
+
+  void apply_plan_op_inverse(std::size_t k, StateVector& state,
+                             std::span<const double> params) const;
+
+  /// Applies the inverse of plan op `k` to both states, computing any
+  /// angle-dependent entries once (the adjoint double sweep walks two
+  /// states through every inverse).
+  void apply_plan_op_inverse_pair(std::size_t k, StateVector& a,
+                                  StateVector& b,
+                                  std::span<const double> params) const;
+
+  /// dst <- dU_k/dtheta |src> (out of place; `k` must be parameterized).
+  void apply_plan_op_derivative(std::size_t k, const StateVector& src,
+                                StateVector& dst,
+                                std::span<const double> params) const;
+
+  /// Applies parameterized plan op `k` with an explicitly bound angle
+  /// (parameter-shift evaluations bind params[param] + shift).
+  void apply_plan_op_with_angle(std::size_t k, StateVector& state,
+                                double theta) const;
+
+  [[nodiscard]] bool plan_op_is_parameterized(std::size_t k) const noexcept;
+
+  /// Parameter index consumed by plan op `k` (parameterized ops only).
+  [[nodiscard]] std::size_t plan_op_parameter(std::size_t k) const;
+
+  /// Plan op consuming `param_index`, or ExecutionPlan::kNoOperation.
+  [[nodiscard]] std::size_t plan_op_for_parameter(
+      std::size_t param_index) const noexcept;
+
+  // --- per-source-op constant matrices (density-matrix simulator) ----------
+
+  /// True when the source op at `source_index` is constant (its dense
+  /// matrix does not depend on the parameter vector).
+  [[nodiscard]] bool source_op_is_constant(std::size_t source_index) const;
+
+  /// Cached dense matrix of a constant source op (same values
+  /// Circuit::operation_matrix builds, computed once and shared).
+  [[nodiscard]] const ComplexMatrix& source_constant_matrix(
+      std::size_t source_index) const;
+
+ private:
+  CompiledCircuit() = default;
+
+  std::size_t num_qubits_ = 0;
+  std::size_t num_params_ = 0;
+  std::vector<PlanOp> plan_ops_;
+  std::vector<gates::Mat2> pool2_;      ///< cached 2x2 entries (forward)
+  std::vector<gates::Mat2> pool2_inv_;  ///< their inverses, same indexing
+  std::vector<ComplexMatrix> pool4_;    ///< cached 4x4 matrices (forward)
+  std::vector<ComplexMatrix> pool4_inv_;
+  std::vector<std::uint32_t> fused_;  ///< pool2 indices of fused runs
+  std::vector<ComplexMatrix> const_matrices_;  ///< dense matrices, deduped
+  std::vector<std::uint32_t> source_matrix_;   ///< source op -> dense index
+  std::vector<std::size_t> param_source_op_;   ///< param -> source op
+  std::vector<std::uint32_t> param_plan_op_;   ///< param -> plan op
+  Stats stats_;
+};
+
+// --- plan attachment -------------------------------------------------------
+
+/// Process-wide switch (default on). When off, plan_for() returns nullptr
+/// and every consumer falls back to interpreted execution — tests use this
+/// to obtain reference results, benchmarks to time both paths.
+void set_execution_plans_enabled(bool enabled) noexcept;
+[[nodiscard]] bool execution_plans_enabled() noexcept;
+
+/// RAII guard: sets the process-wide switch, restores the prior value.
+class ScopedExecutionPlans {
+ public:
+  explicit ScopedExecutionPlans(bool enabled);
+  ~ScopedExecutionPlans();
+  ScopedExecutionPlans(const ScopedExecutionPlans&) = delete;
+  ScopedExecutionPlans& operator=(const ScopedExecutionPlans&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// The plan attached to `circuit`, compiling and attaching one on first
+/// use. Returns nullptr when plans are disabled or the circuit cannot be
+/// lowered (malformed custom gate — execution then takes the interpreted
+/// path and throws its usual InvalidArgument).
+[[nodiscard]] std::shared_ptr<const CompiledCircuit> plan_for(
+    const Circuit& circuit, const CompileOptions& options = {});
+
+// --- prefix-state reuse for single-parameter partials ----------------------
+
+/// Evaluates the cost at parameter vectors that differ from a base vector
+/// only in one entry. The state before the (unique) op consuming that
+/// parameter is simulated once at construction; each evaluation re-runs
+/// only that op and the suffix. For the Fig 5a hot path — the partial with
+/// respect to the LAST parameter — the suffix is (nearly) empty, so each
+/// of the two shift evaluations costs one gate instead of a full forward
+/// pass.
+class PartialEvaluator {
+ public:
+  PartialEvaluator(std::shared_ptr<const CompiledCircuit> plan,
+                   const Observable& observable,
+                   std::span<const double> params, std::size_t index);
+
+  /// Cost at params with params[index] replaced by params[index] + delta.
+  [[nodiscard]] double operator()(double delta);
+
+ private:
+  std::shared_ptr<const CompiledCircuit> plan_;
+  const Observable& observable_;
+  std::vector<double> params_;
+  std::size_t index_;
+  std::size_t plan_op_ = ExecutionPlan::kNoOperation;
+  StateVector prefix_;
+  StateVector work_;
+};
+
+}  // namespace qbarren::exec

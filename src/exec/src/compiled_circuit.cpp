@@ -1,0 +1,665 @@
+#include "qbarren/exec/compiled_circuit.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "qbarren/exec/kernels.hpp"
+#include "qbarren/obs/observable.hpp"
+
+namespace qbarren::exec {
+
+namespace {
+
+constexpr std::uint32_t kNoIndex32 = static_cast<std::uint32_t>(-1);
+
+std::atomic<bool> g_plans_enabled{true};
+
+// Dedup key for cached matrices: everything that determines an op's dense
+// matrix (qubit placement does not).
+using PoolKey = std::tuple<int, int, std::uint64_t, std::size_t>;
+
+PoolKey key_for(const Operation& op) {
+  const bool custom =
+      op.kind == OpKind::kCustomSingle || op.kind == OpKind::kCustomTwo;
+  return {static_cast<int>(op.kind), static_cast<int>(op.axis),
+          std::bit_cast<std::uint64_t>(op.fixed_angle),
+          custom ? op.custom_index : 0};
+}
+
+std::uint32_t u32(std::size_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+std::shared_ptr<const CompiledCircuit> CompiledCircuit::compile(
+    const Circuit& circuit, const CompileOptions& options) {
+  std::shared_ptr<CompiledCircuit> plan(new CompiledCircuit());
+  plan->num_qubits_ = circuit.num_qubits();
+  plan->num_params_ = circuit.num_parameters();
+  const std::vector<Operation>& ops = circuit.operations();
+  plan->stats_.source_ops = ops.size();
+  plan->param_source_op_.assign(plan->num_params_, kNoOperation);
+  plan->param_plan_op_.assign(plan->num_params_, kNoIndex32);
+  plan->source_matrix_.assign(ops.size(), kNoIndex32);
+
+  std::map<PoolKey, std::uint32_t> pool2_index;
+  std::map<PoolKey, std::uint32_t> pool4_index;
+  std::map<PoolKey, std::uint32_t> dense_index;
+  std::vector<std::uint8_t> param_seen(plan->num_params_, 0);
+
+  // Pending run of adjacent constant single-qubit gates on one qubit.
+  std::vector<std::uint32_t> run;
+  std::size_t run_qubit = 0;
+  std::size_t run_first = 0;
+
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    PlanOp op;
+    op.qubit0 = u32(run_qubit);
+    op.source_index = u32(run_first);
+    if (run.size() == 1) {
+      op.kernel = Kernel::kFixedSingle;
+      op.matrix = run[0];
+    } else {
+      op.kernel = Kernel::kFusedSingle;
+      op.fused_begin = u32(plan->fused_.size());
+      op.fused_count = u32(run.size());
+      plan->fused_.insert(plan->fused_.end(), run.begin(), run.end());
+      ++plan->stats_.fused_runs;
+      plan->stats_.fused_source_ops += run.size();
+    }
+    plan->plan_ops_.push_back(op);
+    run.clear();
+  };
+
+  // Cache the dense matrix of a constant source op for the density-matrix
+  // simulator (constant ops ignore the parameter span).
+  auto intern_dense = [&](const Operation& op, std::size_t i) {
+    auto [it, inserted] = dense_index.try_emplace(
+        key_for(op), u32(plan->const_matrices_.size()));
+    if (inserted) {
+      plan->const_matrices_.push_back(circuit.operation_matrix(i, {}));
+    }
+    plan->source_matrix_[i] = it->second;
+  };
+
+  auto intern2 = [&](const Operation& op, const gates::Mat2& fwd,
+                     const gates::Mat2& inv) {
+    auto [it, inserted] =
+        pool2_index.try_emplace(key_for(op), u32(plan->pool2_.size()));
+    if (inserted) {
+      plan->pool2_.push_back(fwd);
+      plan->pool2_inv_.push_back(inv);
+    }
+    return it->second;
+  };
+
+  auto intern4 = [&](const Operation& op, const ComplexMatrix& fwd,
+                     const ComplexMatrix& inv) {
+    auto [it, inserted] =
+        pool4_index.try_emplace(key_for(op), u32(plan->pool4_.size()));
+    if (inserted) {
+      plan->pool4_.push_back(fwd);
+      plan->pool4_inv_.push_back(inv);
+    }
+    return it->second;
+  };
+
+  // First consumer wins, matching the linear scan's first-match
+  // semantics; a parameter consumed twice (not producible by the
+  // builders, but cheap to defend against) disables prefix reuse for it.
+  auto record_param = [&](std::size_t p, std::size_t source) {
+    if (param_seen[p] == 0) {
+      param_seen[p] = 1;
+      plan->param_source_op_[p] = source;
+      plan->param_plan_op_[p] = u32(plan->plan_ops_.size());
+    } else {
+      plan->param_plan_op_[p] = kNoIndex32;
+    }
+  };
+
+  // Appends a constant single-qubit gate: extends the pending fused run
+  // when it targets the same qubit as the previous constant gate.
+  auto push_constant1q = [&](const Operation& op, std::size_t i,
+                             std::uint32_t matrix) {
+    if (!options.fuse_single_qubit_runs ||
+        (!run.empty() && run_qubit != op.qubit0)) {
+      flush_run();
+    }
+    if (run.empty()) {
+      run_qubit = op.qubit0;
+      run_first = i;
+    }
+    run.push_back(matrix);
+    if (!options.fuse_single_qubit_runs) flush_run();
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kRotation: {
+        flush_run();
+        record_param(op.param_index, i);
+        PlanOp p;
+        p.kernel = Kernel::kRotation;
+        p.axis = op.axis;
+        p.qubit0 = u32(op.qubit0);
+        p.param = u32(op.param_index);
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        ++plan->stats_.rotation_ops;
+        break;
+      }
+      case OpKind::kControlledRotation: {
+        flush_run();
+        record_param(op.param_index, i);
+        PlanOp p;
+        p.kernel = Kernel::kControlledRotation;
+        p.axis = op.axis;
+        p.qubit0 = u32(op.qubit0);
+        p.qubit1 = u32(op.qubit1);
+        p.param = u32(op.param_index);
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        ++plan->stats_.rotation_ops;
+        break;
+      }
+      case OpKind::kFixedRotation: {
+        const gates::Mat2 fwd =
+            gates::rotation_entries(op.axis, op.fixed_angle);
+        // Interpreted inverse applies rotation(axis, -angle).
+        const gates::Mat2 inv =
+            gates::rotation_entries(op.axis, -op.fixed_angle);
+        push_constant1q(op, i, intern2(op, fwd, inv));
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kHadamard:
+      case OpKind::kPauliX:
+      case OpKind::kPauliY:
+      case OpKind::kPauliZ: {
+        const ComplexMatrix& m = op.kind == OpKind::kHadamard ? gates::hadamard()
+                                 : op.kind == OpKind::kPauliX ? gates::pauli_x()
+                                 : op.kind == OpKind::kPauliY ? gates::pauli_y()
+                                                              : gates::pauli_z();
+        const gates::Mat2 fwd = gates::entries_of(m);
+        // Involutions: the interpreted inverse re-applies the forward gate.
+        push_constant1q(op, i, intern2(op, fwd, fwd));
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kSGate:
+      case OpKind::kTGate: {
+        const ComplexMatrix& m =
+            op.kind == OpKind::kSGate ? gates::s_gate() : gates::t_gate();
+        push_constant1q(
+            op, i, intern2(op, gates::entries_of(m),
+                           gates::entries_of(adjoint(m))));
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kCustomSingle: {
+        const ComplexMatrix& m = circuit.custom_gate(op).matrix;
+        QBARREN_REQUIRE(m.rows() == 2 && m.cols() == 2,
+                        "CompiledCircuit: custom single-qubit matrix must "
+                        "be 2x2");
+        push_constant1q(
+            op, i, intern2(op, gates::entries_of(m),
+                           gates::entries_of(adjoint(m))));
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kCz: {
+        flush_run();
+        PlanOp p;
+        p.kernel = Kernel::kCzGate;
+        p.qubit0 = u32(op.qubit0);
+        p.qubit1 = u32(op.qubit1);
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kCnot: {
+        flush_run();
+        PlanOp p;
+        p.kernel = Kernel::kCnot;
+        p.qubit0 = u32(op.qubit0);  // control, as in apply_controlled
+        p.qubit1 = u32(op.qubit1);
+        const gates::Mat2 x = gates::entries_of(gates::pauli_x());
+        p.matrix = intern2(op, x, x);
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kSwap: {
+        flush_run();
+        PlanOp p;
+        p.kernel = Kernel::kFixedTwo;
+        // apply_operation passes (min, max) to apply_two_qubit.
+        p.qubit0 = u32(std::min(op.qubit0, op.qubit1));
+        p.qubit1 = u32(std::max(op.qubit0, op.qubit1));
+        p.matrix = intern4(op, gates::swap(), gates::swap());
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        intern_dense(op, i);
+        break;
+      }
+      case OpKind::kCustomTwo: {
+        flush_run();
+        const ComplexMatrix& m = circuit.custom_gate(op).matrix;
+        QBARREN_REQUIRE(m.rows() == 4 && m.cols() == 4,
+                        "CompiledCircuit: custom two-qubit matrix must be "
+                        "4x4");
+        PlanOp p;
+        p.kernel = Kernel::kFixedTwo;
+        p.qubit0 = u32(op.qubit0);  // builder guarantees qubit0 < qubit1
+        p.qubit1 = u32(op.qubit1);
+        p.matrix = intern4(op, m, adjoint(m));
+        p.source_index = u32(i);
+        plan->plan_ops_.push_back(p);
+        intern_dense(op, i);
+        break;
+      }
+    }
+  }
+  flush_run();
+
+  plan->stats_.plan_ops = plan->plan_ops_.size();
+  plan->stats_.cached_matrices = plan->pool2_.size() + plan->pool4_.size();
+  return plan;
+}
+
+void CompiledCircuit::apply_to(StateVector& state,
+                               std::span<const double> params) const {
+  QBARREN_REQUIRE(state.num_qubits() == num_qubits_,
+                  "CompiledCircuit::apply_to: register width mismatch");
+  QBARREN_REQUIRE(params.size() == num_params_,
+                  "CompiledCircuit::apply_to: parameter count mismatch");
+  apply_plan_ops(state, params, 0, plan_ops_.size());
+}
+
+std::size_t CompiledCircuit::source_op_for_parameter(
+    std::size_t param_index) const noexcept {
+  if (param_index >= param_source_op_.size()) return kNoOperation;
+  return param_source_op_[param_index];
+}
+
+StateVector CompiledCircuit::simulate(std::span<const double> params) const {
+  StateVector state(num_qubits_);
+  apply_to(state, params);
+  return state;
+}
+
+double CompiledCircuit::adjoint_value_and_gradient(
+    const Observable& observable, std::span<const double> params,
+    std::span<double> gradient) const {
+  QBARREN_REQUIRE(params.size() == num_params_,
+                  "CompiledCircuit::adjoint_value_and_gradient: parameter "
+                  "count mismatch");
+  QBARREN_REQUIRE(gradient.size() == num_params_,
+                  "CompiledCircuit::adjoint_value_and_gradient: gradient "
+                  "span size mismatch");
+  const std::size_t n = plan_ops_.size();
+
+  // Rotation-entry table for this parameter binding: one forward and one
+  // inverse trig evaluation per parameterized op, reused everywhere below.
+  // Thread-local scratch: the tables are large enough (64 bytes per plan
+  // op, twice) that reallocating per gradient call shows up in profiles.
+  thread_local std::vector<gates::Mat2> fwd;
+  thread_local std::vector<gates::Mat2> inv;
+  fwd.resize(n);
+  inv.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const PlanOp& op = plan_ops_[k];
+    if (op.kernel == Kernel::kRotation ||
+        op.kernel == Kernel::kControlledRotation) {
+      fwd[k] = gates::rotation_entries(op.axis, params[op.param]);
+      inv[k] = gates::rotation_entries(op.axis, -params[op.param]);
+    }
+  }
+
+  StateVector phi(num_qubits_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const PlanOp& op = plan_ops_[k];
+    if (op.kernel == Kernel::kRotation) {
+      // HEA layers put same-qubit rotation pairs back to back (RX then
+      // RY); run both in one pass when they are.
+      if (k + 1 < n && plan_ops_[k + 1].kernel == Kernel::kRotation &&
+          plan_ops_[k + 1].qubit0 == op.qubit0) {
+        apply_mat2_pair(phi, fwd[k], fwd[k + 1], op.qubit0);
+        ++k;
+      } else {
+        apply_rotation_mat2(phi, op.axis, fwd[k], op.qubit0);
+      }
+    } else if (op.kernel == Kernel::kControlledRotation) {
+      apply_controlled_mat2(phi, fwd[k], op.qubit0, op.qubit1);
+    } else {
+      apply_plan_op(k, phi, params);
+    }
+  }
+  StateVector lambda = observable.apply(phi);
+  const double value = phi.inner_product(lambda).real();
+
+  StateVector scratch(num_qubits_);
+  for (std::size_t k = n; k-- > 0;) {
+    const PlanOp& op = plan_ops_[k];
+    if (op.kernel == Kernel::kRotation) {
+      const gates::Mat2 dr =
+          gates::rotation_derivative_entries_from(op.axis, fwd[k]);
+      // Combined step: inverse on phi, <lambda| dR |phi_{k-1}>, inverse on
+      // lambda — one kernel instead of three passes over the amplitudes.
+      gradient[op.param] +=
+          2.0 *
+          adjoint_rotation_sweep(phi, lambda, op.axis, inv[k], dr, op.qubit0)
+              .real();
+    } else if (op.kernel == Kernel::kControlledRotation) {
+      apply_controlled_mat2(phi, inv[k], op.qubit0, op.qubit1);
+      const gates::Mat2 dr =
+          gates::rotation_derivative_entries_from(op.axis, fwd[k]);
+      // |1><1| (x) dR/dtheta on the control-set subspace, zero elsewhere
+      // (matrix bit 0 = control = qubit0), as in the interpreted path.
+      Complex m[4][4] = {};
+      m[1][1] = dr.m00;
+      m[1][3] = dr.m01;
+      m[3][1] = dr.m10;
+      m[3][3] = dr.m11;
+      apply_mat4_from(scratch, phi, m, op.qubit0, op.qubit1);
+      gradient[op.param] += 2.0 * lambda.inner_product(scratch).real();
+      apply_controlled_mat2(lambda, inv[k], op.qubit0, op.qubit1);
+    } else {
+      apply_plan_op_inverse_pair(k, phi, lambda, params);
+    }
+  }
+  return value;
+}
+
+void CompiledCircuit::apply_plan_ops(StateVector& state,
+                                     std::span<const double> params,
+                                     std::size_t begin,
+                                     std::size_t end) const {
+  QBARREN_REQUIRE(begin <= end && end <= plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_ops: range out of bounds");
+  for (std::size_t k = begin; k < end; ++k) {
+    apply_plan_op(k, state, params);
+  }
+}
+
+void CompiledCircuit::apply_plan_op(std::size_t k, StateVector& state,
+                                    std::span<const double> params) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op: index out of range");
+  const PlanOp& op = plan_ops_[k];
+  switch (op.kernel) {
+    case Kernel::kRotation:
+      apply_rotation(state, op.axis, params[op.param], op.qubit0);
+      return;
+    case Kernel::kControlledRotation:
+      apply_controlled_rotation(state, op.axis, params[op.param], op.qubit0,
+                                op.qubit1);
+      return;
+    case Kernel::kFixedSingle:
+      apply_mat2(state, pool2_[op.matrix], op.qubit0);
+      return;
+    case Kernel::kFusedSingle:
+      apply_mat2_run(state, pool2_.data(), fused_.data() + op.fused_begin,
+                     op.fused_count, /*reverse=*/false, op.qubit0);
+      return;
+    case Kernel::kCnot:
+      apply_controlled_mat2(state, pool2_[op.matrix], op.qubit0, op.qubit1);
+      return;
+    case Kernel::kCzGate:
+      apply_cz(state, op.qubit0, op.qubit1);
+      return;
+    case Kernel::kFixedTwo:
+      state.apply_two_qubit(pool4_[op.matrix], op.qubit0, op.qubit1);
+      return;
+  }
+  throw InvalidArgument("CompiledCircuit::apply_plan_op: unknown kernel");
+}
+
+void CompiledCircuit::apply_plan_op_inverse(
+    std::size_t k, StateVector& state, std::span<const double> params) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_inverse: index out of "
+                  "range");
+  const PlanOp& op = plan_ops_[k];
+  switch (op.kernel) {
+    case Kernel::kRotation:
+      apply_rotation(state, op.axis, -params[op.param], op.qubit0);
+      return;
+    case Kernel::kControlledRotation:
+      apply_controlled_rotation(state, op.axis, -params[op.param], op.qubit0,
+                                op.qubit1);
+      return;
+    case Kernel::kFixedSingle:
+      apply_mat2(state, pool2_inv_[op.matrix], op.qubit0);
+      return;
+    case Kernel::kFusedSingle:
+      // Inverse of a product: inverses in reverse order.
+      apply_mat2_run(state, pool2_inv_.data(),
+                     fused_.data() + op.fused_begin, op.fused_count,
+                     /*reverse=*/true, op.qubit0);
+      return;
+    case Kernel::kCnot:
+      apply_controlled_mat2(state, pool2_inv_[op.matrix], op.qubit0,
+                            op.qubit1);
+      return;
+    case Kernel::kCzGate:
+      apply_cz(state, op.qubit0, op.qubit1);
+      return;
+    case Kernel::kFixedTwo:
+      state.apply_two_qubit(pool4_inv_[op.matrix], op.qubit0, op.qubit1);
+      return;
+  }
+  throw InvalidArgument(
+      "CompiledCircuit::apply_plan_op_inverse: unknown kernel");
+}
+
+void CompiledCircuit::apply_plan_op_inverse_pair(
+    std::size_t k, StateVector& a, StateVector& b,
+    std::span<const double> params) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_inverse_pair: index out "
+                  "of range");
+  const PlanOp& op = plan_ops_[k];
+  // For rotations, compute the (trig-bearing) entries once for both
+  // states; everything else applies cached matrices anyway.
+  if (op.kernel == Kernel::kRotation) {
+    const gates::Mat2 e =
+        gates::rotation_entries(op.axis, -params[op.param]);
+    apply_mat2(a, e, op.qubit0);
+    apply_mat2(b, e, op.qubit0);
+    return;
+  }
+  if (op.kernel == Kernel::kControlledRotation) {
+    const gates::Mat2 e =
+        gates::rotation_entries(op.axis, -params[op.param]);
+    apply_controlled_mat2(a, e, op.qubit0, op.qubit1);
+    apply_controlled_mat2(b, e, op.qubit0, op.qubit1);
+    return;
+  }
+  if (op.kernel == Kernel::kCzGate) {
+    // Self-inverse, and negation-only: flip both states in one pass.
+    apply_cz_pair(a, b, op.qubit0, op.qubit1);
+    return;
+  }
+  apply_plan_op_inverse(k, a, params);
+  apply_plan_op_inverse(k, b, params);
+}
+
+void CompiledCircuit::apply_plan_op_derivative(
+    std::size_t k, const StateVector& src, StateVector& dst,
+    std::span<const double> params) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_derivative: index out of "
+                  "range");
+  QBARREN_REQUIRE(dst.dimension() == src.dimension(),
+                  "CompiledCircuit::apply_plan_op_derivative: dimension "
+                  "mismatch");
+  const PlanOp& op = plan_ops_[k];
+  QBARREN_REQUIRE(plan_op_is_parameterized(k),
+                  "CompiledCircuit::apply_plan_op_derivative: op is not a "
+                  "trainable rotation");
+  const gates::Mat2 dr =
+      gates::rotation_derivative_entries(op.axis, params[op.param]);
+  if (op.kernel == Kernel::kRotation) {
+    apply_mat2_from(dst, src, dr, op.qubit0);
+    return;
+  }
+  // Controlled rotation: |1><1| (x) dR/dtheta, zero on the control-clear
+  // subspace — the same zero-filled 4x4 the interpreted path applies
+  // (matrix bit 0 = control = qubit0).
+  Complex m[4][4] = {};
+  m[1][1] = dr.m00;
+  m[1][3] = dr.m01;
+  m[3][1] = dr.m10;
+  m[3][3] = dr.m11;
+  apply_mat4_from(dst, src, m, op.qubit0, op.qubit1);
+}
+
+void CompiledCircuit::apply_plan_op_with_angle(std::size_t k,
+                                               StateVector& state,
+                                               double theta) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_with_angle: index out of "
+                  "range");
+  const PlanOp& op = plan_ops_[k];
+  QBARREN_REQUIRE(plan_op_is_parameterized(k),
+                  "CompiledCircuit::apply_plan_op_with_angle: op is not a "
+                  "trainable rotation");
+  if (op.kernel == Kernel::kRotation) {
+    apply_rotation(state, op.axis, theta, op.qubit0);
+    return;
+  }
+  apply_controlled_rotation(state, op.axis, theta, op.qubit0, op.qubit1);
+}
+
+bool CompiledCircuit::plan_op_is_parameterized(std::size_t k) const noexcept {
+  if (k >= plan_ops_.size()) return false;
+  const Kernel kernel = plan_ops_[k].kernel;
+  return kernel == Kernel::kRotation || kernel == Kernel::kControlledRotation;
+}
+
+std::size_t CompiledCircuit::plan_op_parameter(std::size_t k) const {
+  QBARREN_REQUIRE(plan_op_is_parameterized(k),
+                  "CompiledCircuit::plan_op_parameter: op is not "
+                  "parameterized");
+  return plan_ops_[k].param;
+}
+
+std::size_t CompiledCircuit::plan_op_for_parameter(
+    std::size_t param_index) const noexcept {
+  if (param_index >= param_plan_op_.size() ||
+      param_plan_op_[param_index] == kNoIndex32) {
+    return kNoOperation;
+  }
+  return param_plan_op_[param_index];
+}
+
+bool CompiledCircuit::source_op_is_constant(std::size_t source_index) const {
+  QBARREN_REQUIRE(source_index < source_matrix_.size(),
+                  "CompiledCircuit::source_op_is_constant: index out of "
+                  "range");
+  return source_matrix_[source_index] != kNoIndex32;
+}
+
+const ComplexMatrix& CompiledCircuit::source_constant_matrix(
+    std::size_t source_index) const {
+  QBARREN_REQUIRE(source_op_is_constant(source_index),
+                  "CompiledCircuit::source_constant_matrix: op is not "
+                  "constant");
+  return const_matrices_[source_matrix_[source_index]];
+}
+
+// --- plan attachment -------------------------------------------------------
+
+void set_execution_plans_enabled(bool enabled) noexcept {
+  g_plans_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool execution_plans_enabled() noexcept {
+  return g_plans_enabled.load(std::memory_order_relaxed);
+}
+
+ScopedExecutionPlans::ScopedExecutionPlans(bool enabled)
+    : previous_(execution_plans_enabled()) {
+  set_execution_plans_enabled(enabled);
+}
+
+ScopedExecutionPlans::~ScopedExecutionPlans() {
+  set_execution_plans_enabled(previous_);
+}
+
+std::shared_ptr<const CompiledCircuit> plan_for(const Circuit& circuit,
+                                                const CompileOptions& options) {
+  if (!execution_plans_enabled()) return nullptr;
+  if (auto attached = std::dynamic_pointer_cast<const CompiledCircuit>(
+          circuit.execution_plan())) {
+    return attached;
+  }
+  try {
+    auto plan = CompiledCircuit::compile(circuit, options);
+    circuit.attach_execution_plan(plan);
+    return plan;
+  } catch (const InvalidArgument&) {
+    // Unlowerable circuit (malformed custom gate): execution falls back to
+    // the interpreted path, which throws its usual error when (and only
+    // when) the op is actually applied.
+    return nullptr;
+  }
+}
+
+// --- prefix-state reuse ----------------------------------------------------
+
+namespace {
+const std::shared_ptr<const CompiledCircuit>& require_plan(
+    const std::shared_ptr<const CompiledCircuit>& plan) {
+  QBARREN_REQUIRE(plan != nullptr, "PartialEvaluator: plan must not be null");
+  return plan;
+}
+}  // namespace
+
+PartialEvaluator::PartialEvaluator(
+    std::shared_ptr<const CompiledCircuit> plan, const Observable& observable,
+    std::span<const double> params, std::size_t index)
+    : plan_(require_plan(plan)),
+      observable_(observable),
+      params_(params.begin(), params.end()),
+      index_(index),
+      prefix_(plan_->num_qubits()),
+      work_(plan_->num_qubits()) {
+  QBARREN_REQUIRE(index_ < params_.size(),
+                  "PartialEvaluator: parameter index out of range");
+  plan_op_ = plan_->plan_op_for_parameter(index_);
+  if (plan_op_ != ExecutionPlan::kNoOperation) {
+    // The ops before the consuming one do not read params[index], so this
+    // state is valid for every shifted evaluation.
+    plan_->apply_plan_ops(prefix_, params_, 0, plan_op_);
+  }
+}
+
+double PartialEvaluator::operator()(double delta) {
+  if (plan_op_ != ExecutionPlan::kNoOperation) {
+    work_ = prefix_;
+    plan_->apply_plan_op_with_angle(plan_op_, work_,
+                                    params_[index_] + delta);
+    plan_->apply_plan_ops(work_, params_, plan_op_ + 1,
+                          plan_->num_plan_ops());
+  } else {
+    // No unique consuming op recorded (shared parameter, defensive):
+    // evaluate the whole program on a temporarily shifted vector.
+    const double saved = params_[index_];
+    params_[index_] = saved + delta;
+    work_.reset();
+    plan_->apply_plan_ops(work_, params_, 0, plan_->num_plan_ops());
+    params_[index_] = saved;
+  }
+  return observable_.expectation(work_);
+}
+
+}  // namespace qbarren::exec

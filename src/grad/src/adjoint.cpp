@@ -1,3 +1,4 @@
+#include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
 
 namespace qbarren {
@@ -23,12 +24,20 @@ ValueAndGradient AdjointEngine::value_and_gradient(
   ValueAndGradient out;
   out.gradient.assign(params.size(), 0.0);
 
+  if (const auto plan = exec::plan_for(circuit)) {
+    // Whole pass through the lowered op stream: rotation entries computed
+    // once per op, allocation-free kernels, out-of-place derivative.
+    out.value =
+        plan->adjoint_value_and_gradient(observable, params, out.gradient);
+    return out;
+  }
+
   StateVector phi = circuit.simulate(params);
   StateVector lambda = observable.apply(phi);
   out.value = phi.inner_product(lambda).real();
 
-  const auto& ops = circuit.operations();
   StateVector scratch(circuit.num_qubits());
+  const auto& ops = circuit.operations();
   for (std::size_t k = ops.size(); k-- > 0;) {
     circuit.apply_operation_inverse(k, phi, params);  // phi = |phi_{k-1}>
     if (is_parameterized(ops[k].kind)) {

@@ -1,3 +1,4 @@
+#include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
 
 namespace qbarren {
@@ -13,6 +14,13 @@ double FiniteDifferenceEngine::partial(const Circuit& circuit,
   check_args(circuit, observable, params);
   QBARREN_REQUIRE(index < params.size(),
                   "FiniteDifferenceEngine::partial: index out of range");
+  if (const auto plan = exec::plan_for(circuit)) {
+    // Both evaluations reuse the prefix state before the shifted gate.
+    exec::PartialEvaluator cost(plan, observable, params, index);
+    const double plus = cost(h_);
+    const double minus = cost(-h_);
+    return (plus - minus) / (2.0 * h_);
+  }
   std::vector<double> work(params.begin(), params.end());
   work[index] = params[index] + h_;
   const double plus = observable.expectation(circuit.simulate(work));

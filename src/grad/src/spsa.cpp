@@ -1,3 +1,4 @@
+#include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
 
 namespace qbarren {
@@ -11,6 +12,8 @@ std::vector<double> SpsaEngine::gradient(const Circuit& circuit,
                                          const Observable& observable,
                                          std::span<const double> params) const {
   check_args(circuit, observable, params);
+  // Attach the plan once; both simulate calls below route through it.
+  static_cast<void>(exec::plan_for(circuit));
   const std::size_t n = params.size();
   std::vector<double> delta(n);
   for (auto& d : delta) {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "qbarren/exec/compiled_circuit.hpp"
+
 namespace qbarren {
 
 namespace {
@@ -41,6 +43,9 @@ TrainResult train(const CostFunction& cost, const GradientEngine& engine,
 
   const Circuit& circuit = cost.circuit();
   const Observable& observable = cost.observable();
+  // Lower once up front: every cost evaluation and gradient across all
+  // iterations reuses the same compiled plan.
+  static_cast<void>(exec::plan_for(circuit));
 
   double loss = cost.value(result.final_params);
   result.initial_loss = loss;

@@ -15,14 +15,17 @@
 namespace qbarren::gates {
 
 // --- fixed single-qubit gates -------------------------------------------
+// Constant gates are immutable; each helper returns a reference to a
+// function-local static built on first use (thread-safe), so hot loops
+// that fetch them per application no longer heap-allocate a fresh matrix.
 
-[[nodiscard]] ComplexMatrix identity2();
-[[nodiscard]] ComplexMatrix pauli_x();
-[[nodiscard]] ComplexMatrix pauli_y();
-[[nodiscard]] ComplexMatrix pauli_z();
-[[nodiscard]] ComplexMatrix hadamard();
-[[nodiscard]] ComplexMatrix s_gate();   ///< sqrt(Z), diag(1, i)
-[[nodiscard]] ComplexMatrix t_gate();   ///< diag(1, e^{i pi/4})
+[[nodiscard]] const ComplexMatrix& identity2();
+[[nodiscard]] const ComplexMatrix& pauli_x();
+[[nodiscard]] const ComplexMatrix& pauli_y();
+[[nodiscard]] const ComplexMatrix& pauli_z();
+[[nodiscard]] const ComplexMatrix& hadamard();
+[[nodiscard]] const ComplexMatrix& s_gate();   ///< sqrt(Z), diag(1, i)
+[[nodiscard]] const ComplexMatrix& t_gate();   ///< diag(1, e^{i pi/4})
 
 // --- parameterized single-qubit gates ------------------------------------
 
@@ -36,10 +39,12 @@ namespace qbarren::gates {
 [[nodiscard]] ComplexMatrix u3(double theta, double phi, double lambda);
 
 // --- two-qubit gates ------------------------------------------------------
+// The constant two-qubit gates are cached the same way as the constant
+// single-qubit gates above.
 
-[[nodiscard]] ComplexMatrix cz();     ///< controlled-Z (symmetric)
-[[nodiscard]] ComplexMatrix cnot();   ///< control = low-order qubit
-[[nodiscard]] ComplexMatrix swap();
+[[nodiscard]] const ComplexMatrix& cz();     ///< controlled-Z (symmetric)
+[[nodiscard]] const ComplexMatrix& cnot();   ///< control = low-order qubit
+[[nodiscard]] const ComplexMatrix& swap();
 [[nodiscard]] ComplexMatrix crz(double theta);  ///< controlled RZ
 
 // --- generators -----------------------------------------------------------
@@ -56,6 +61,34 @@ enum class Axis { kX, kY, kZ };
 
 /// Derivative of the rotation matrix: dR_P(theta)/dtheta = (-i/2) P R_P.
 [[nodiscard]] ComplexMatrix rotation_derivative(Axis axis, double theta);
+
+// --- stack-held gate entries ----------------------------------------------
+// A 2x2 matrix by value (no heap), row-major. The entry helpers below are
+// the single arithmetic source for both the heap-matrix builders above and
+// the exec layer's allocation-free kernels: `rotation()` is implemented on
+// top of `rotation_entries()`, so compiled and interpreted execution see
+// exactly the same floating-point values.
+
+struct Mat2 {
+  Complex m00, m01, m10, m11;
+};
+
+/// Entries of rotation(axis, theta), without allocating.
+[[nodiscard]] Mat2 rotation_entries(Axis axis, double theta);
+
+/// Entries of rotation_derivative(axis, theta), without allocating.
+/// Replicates the dense-matmul accumulation semantics of the matrix path.
+[[nodiscard]] Mat2 rotation_derivative_entries(Axis axis, double theta);
+
+/// Same derivative entries, but from already-computed rotation_entries()
+/// output for the same (axis, theta) — skips recomputing the trig.
+[[nodiscard]] Mat2 rotation_derivative_entries_from(Axis axis, const Mat2& r);
+
+/// Entries of a 2x2 ComplexMatrix; throws InvalidArgument otherwise.
+[[nodiscard]] Mat2 entries_of(const ComplexMatrix& m);
+
+/// Conjugate transpose of a Mat2.
+[[nodiscard]] Mat2 adjoint_entries(const Mat2& m);
 
 /// Human-readable axis name ("RX"/"RY"/"RZ").
 [[nodiscard]] std::string axis_name(Axis axis);

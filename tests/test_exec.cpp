@@ -1,0 +1,389 @@
+// Tests for the compiled execution-plan layer: lowering stats, fusion,
+// plan attachment/invalidation, and — most importantly — bit-identity of
+// the compiled path against the interpreted path for simulate, unitary,
+// all four gradient engines, and the noisy density-matrix simulator, on
+// randomized circuits mixing every op kind.
+#include "qbarren/exec/compiled_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qbarren/common/rng.hpp"
+#include "qbarren/dsim/noisy.hpp"
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/obs/observable.hpp"
+
+namespace qbarren {
+namespace {
+
+// Random circuit mixing every op kind the builders expose. Interpreted
+// references must be copied from the returned circuit BEFORE a plan is
+// attached (copies share an already-attached plan).
+Circuit random_circuit(Rng& rng, std::size_t qubits, std::size_t num_ops) {
+  Circuit c(qubits);
+  const auto axis = [&] {
+    const std::size_t a = rng.index(3);
+    return a == 0 ? gates::Axis::kX : a == 1 ? gates::Axis::kY : gates::Axis::kZ;
+  };
+  const auto pair = [&](std::size_t& a, std::size_t& b) {
+    a = rng.index(qubits);
+    b = rng.index(qubits - 1);
+    if (b >= a) ++b;
+  };
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const std::size_t q = rng.index(qubits);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    switch (rng.index(13)) {
+      case 0:
+        c.add_rotation(axis(), q);
+        break;
+      case 1:
+        pair(a, b);
+        c.add_controlled_rotation(axis(), a, b);
+        break;
+      case 2:
+        c.add_fixed_rotation(axis(), q, rng.uniform(-M_PI, M_PI));
+        break;
+      case 3:
+        c.add_hadamard(q);
+        break;
+      case 4:
+        c.add_pauli_x(q);
+        break;
+      case 5:
+        c.add_pauli_y(q);
+        break;
+      case 6:
+        c.add_pauli_z(q);
+        break;
+      case 7:
+        c.add_s(q);
+        break;
+      case 8:
+        c.add_t(q);
+        break;
+      case 9:
+        pair(a, b);
+        c.add_cz(a, b);
+        break;
+      case 10:
+        pair(a, b);
+        c.add_cnot(a, b);
+        break;
+      case 11:
+        pair(a, b);
+        c.add_swap(a, b);
+        break;
+      case 12:
+        if (rng.bernoulli(0.5)) {
+          c.add_custom_gate("u3", gates::u3(rng.uniform(0.0, M_PI),
+                                            rng.uniform(0.0, 2.0 * M_PI),
+                                            rng.uniform(0.0, 2.0 * M_PI)),
+                            q);
+        } else {
+          pair(a, b);
+          c.add_custom_two_qubit_gate(
+              "crz*swap", gates::crz(rng.uniform(-M_PI, M_PI)) * gates::swap(),
+              std::min(a, b), std::max(a, b));
+        }
+        break;
+    }
+  }
+  return c;
+}
+
+void expect_states_equal(const StateVector& got, const StateVector& want) {
+  ASSERT_EQ(got.dimension(), want.dimension());
+  for (std::size_t i = 0; i < got.dimension(); ++i) {
+    EXPECT_EQ(got.amplitudes()[i].real(), want.amplitudes()[i].real()) << i;
+    EXPECT_EQ(got.amplitudes()[i].imag(), want.amplitudes()[i].imag()) << i;
+  }
+}
+
+TEST(CompiledCircuit, LoweringStatsAndFusion) {
+  Circuit c(2);
+  c.add_hadamard(0);
+  c.add_pauli_x(0);  // fuses with the H: run of 2 on qubit 0
+  c.add_rotation(gates::Axis::kY, 1);
+  c.add_hadamard(1);
+  c.add_s(1);
+  c.add_t(1);  // run of 3 on qubit 1
+  c.add_cz(0, 1);
+  c.add_cnot(0, 1);
+  c.add_swap(0, 1);
+
+  const auto plan = exec::CompiledCircuit::compile(c);
+  const auto& stats = plan->stats();
+  EXPECT_EQ(stats.source_ops, 9u);
+  EXPECT_EQ(stats.plan_ops, 6u);  // 2 fused runs + RY + CZ + CNOT + SWAP
+  EXPECT_EQ(stats.fused_runs, 2u);
+  EXPECT_EQ(stats.fused_source_ops, 5u);
+  EXPECT_EQ(stats.rotation_ops, 1u);
+  // 2x2 pool: H, X, S, T plus CNOT's X (interned under its own op kind);
+  // 4x4 pool: SWAP.
+  EXPECT_EQ(stats.cached_matrices, 6u);
+
+  // Constant source ops expose their cached dense matrices.
+  EXPECT_TRUE(plan->source_op_is_constant(0));
+  EXPECT_FALSE(plan->source_op_is_constant(2));  // the RY
+  const ComplexMatrix& h = plan->source_constant_matrix(0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t col = 0; col < 2; ++col) {
+      EXPECT_EQ(h(r, col), gates::hadamard()(r, col));
+    }
+  }
+
+  // Without fusion every source op lowers to its own kernel op.
+  exec::CompileOptions no_fuse;
+  no_fuse.fuse_single_qubit_runs = false;
+  const auto flat = exec::CompiledCircuit::compile(c, no_fuse);
+  EXPECT_EQ(flat->stats().fused_runs, 0u);
+  EXPECT_EQ(flat->stats().plan_ops, 9u);
+
+  // Fused and unfused programs agree exactly.
+  Rng rng(7);
+  const auto params = rng.uniform_vector(c.num_parameters(), 0.0, 2.0 * M_PI);
+  expect_states_equal(plan->simulate(params), flat->simulate(params));
+}
+
+TEST(CompiledCircuit, PlanAttachShareAndInvalidate) {
+  Circuit c(2);
+  c.add_rotation(gates::Axis::kX, 0);
+  c.add_cnot(0, 1);
+  EXPECT_EQ(c.execution_plan(), nullptr);
+
+  const auto plan = exec::plan_for(c);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(c.execution_plan(), plan);
+  EXPECT_EQ(exec::plan_for(c), plan);  // reuses the attached plan
+
+  // Copies share the (immutable) plan.
+  const Circuit copy = c;
+  EXPECT_EQ(copy.execution_plan(), plan);
+
+  // Mutation invalidates; the next plan_for lowers the new op list.
+  c.add_hadamard(0);
+  EXPECT_EQ(c.execution_plan(), nullptr);
+  EXPECT_EQ(copy.execution_plan(), plan);  // the copy is untouched
+  const auto replan = exec::plan_for(c);
+  ASSERT_NE(replan, nullptr);
+  EXPECT_NE(replan, plan);
+  EXPECT_EQ(replan->stats().source_ops, 3u);
+}
+
+TEST(CompiledCircuit, ScopedToggleDisablesPlanFor) {
+  Circuit c(1);
+  c.add_rotation(gates::Axis::kY, 0);
+  ASSERT_TRUE(exec::execution_plans_enabled());
+  {
+    exec::ScopedExecutionPlans off(false);
+    EXPECT_FALSE(exec::execution_plans_enabled());
+    EXPECT_EQ(exec::plan_for(c), nullptr);
+    EXPECT_EQ(c.execution_plan(), nullptr);  // nothing was attached
+  }
+  EXPECT_TRUE(exec::execution_plans_enabled());
+  EXPECT_NE(exec::plan_for(c), nullptr);
+}
+
+TEST(CompiledCircuit, SimulateMatchesInterpretedOnRandomCircuits) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Circuit c = random_circuit(rng, 4, 40);
+    const Circuit interpreted = c;  // copied before any plan is attached
+    const auto params =
+        rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+
+    ASSERT_NE(exec::plan_for(c), nullptr);
+    const StateVector compiled = c.simulate(params);
+    const StateVector reference = interpreted.simulate(params);
+    expect_states_equal(compiled, reference);
+  }
+}
+
+TEST(CompiledCircuit, UnitaryMatchesInterpreted) {
+  Rng rng(11);
+  Circuit c = random_circuit(rng, 3, 25);
+  const Circuit interpreted = c;
+  const auto params = rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+
+  ASSERT_NE(exec::plan_for(c), nullptr);
+  const ComplexMatrix got = c.unitary(params);
+  const ComplexMatrix want = interpreted.unitary(params);
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::size_t r = 0; r < got.rows(); ++r) {
+    for (std::size_t col = 0; col < got.cols(); ++col) {
+      EXPECT_EQ(got(r, col), want(r, col)) << r << "," << col;
+    }
+  }
+}
+
+TEST(CompiledCircuit, GradientEnginesMatchInterpretedExactly) {
+  const ParameterShiftEngine ps;
+  const FiniteDifferenceEngine fd;
+  const AdjointEngine adj;
+  const GlobalZeroObservable obs(4);
+
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    Rng rng(seed);
+    Circuit c = random_circuit(rng, 4, 35);
+    const Circuit interpreted = c;
+    const auto params =
+        rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+
+    ASSERT_NE(exec::plan_for(c), nullptr);
+    for (const GradientEngine* engine :
+         {static_cast<const GradientEngine*>(&ps),
+          static_cast<const GradientEngine*>(&fd),
+          static_cast<const GradientEngine*>(&adj)}) {
+      const auto compiled = engine->gradient(c, obs, params);
+      std::vector<double> reference;
+      {
+        exec::ScopedExecutionPlans off(false);
+        reference = engine->gradient(interpreted, obs, params);
+      }
+      ASSERT_EQ(compiled.size(), reference.size());
+      for (std::size_t i = 0; i < compiled.size(); ++i) {
+        EXPECT_EQ(compiled[i], reference[i])
+            << engine->name() << " param " << i << " seed " << seed;
+      }
+    }
+
+    // value_and_gradient carries the same bit-identity guarantee.
+    const ValueAndGradient compiled_vg = adj.value_and_gradient(c, obs, params);
+    ValueAndGradient reference_vg;
+    {
+      exec::ScopedExecutionPlans off(false);
+      reference_vg = adj.value_and_gradient(interpreted, obs, params);
+    }
+    EXPECT_EQ(compiled_vg.value, reference_vg.value);
+    for (std::size_t i = 0; i < compiled_vg.gradient.size(); ++i) {
+      EXPECT_EQ(compiled_vg.gradient[i], reference_vg.gradient[i]) << i;
+    }
+  }
+}
+
+TEST(CompiledCircuit, SpsaSameSeedMatchesInterpreted) {
+  Rng rng(31);
+  Circuit c = random_circuit(rng, 4, 30);
+  const Circuit interpreted = c;
+  const auto params = rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+  const GlobalZeroObservable obs(4);
+
+  ASSERT_NE(exec::plan_for(c), nullptr);
+  const SpsaEngine compiled_engine(123);
+  const auto compiled = compiled_engine.gradient(c, obs, params);
+  std::vector<double> reference;
+  {
+    exec::ScopedExecutionPlans off(false);
+    const SpsaEngine interpreted_engine(123);
+    reference = interpreted_engine.gradient(interpreted, obs, params);
+  }
+  ASSERT_EQ(compiled.size(), reference.size());
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    EXPECT_EQ(compiled[i], reference[i]) << i;
+  }
+}
+
+TEST(CompiledCircuit, PrefixReusePartialsCrossCheck) {
+  // partial() takes the prefix-reuse path; gradient() loops partial. Both
+  // must agree with each other and with the interpreted partial — exactly,
+  // including the controlled-rotation four-term rule.
+  Circuit c(3);
+  c.add_hadamard(0);
+  c.add_rotation(gates::Axis::kY, 0);
+  c.add_controlled_rotation(gates::Axis::kZ, 0, 1);
+  c.add_cnot(1, 2);
+  c.add_rotation(gates::Axis::kX, 2);
+  c.add_rotation(gates::Axis::kZ, 1);
+  const Circuit interpreted = c;
+
+  Rng rng(5);
+  const auto params = rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+  const GlobalZeroObservable obs(3);
+  const ParameterShiftEngine ps;
+  const FiniteDifferenceEngine fd;
+
+  ASSERT_NE(exec::plan_for(c), nullptr);
+  const auto grad = ps.gradient(c, obs, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(ps.partial(c, obs, params, i), grad[i]) << i;
+    EXPECT_EQ(fd.partial(c, obs, params, i),
+              [&] {
+                exec::ScopedExecutionPlans off(false);
+                return fd.partial(interpreted, obs, params, i);
+              }())
+        << i;
+    {
+      exec::ScopedExecutionPlans off(false);
+      EXPECT_EQ(ps.partial(interpreted, obs, params, i), grad[i]) << i;
+    }
+  }
+}
+
+TEST(CompiledCircuit, OperationForParameterTableMatchesScan) {
+  Rng rng(41);
+  Circuit c = random_circuit(rng, 4, 50);
+  const Circuit scan = c;  // no plan: linear-scan path
+  ASSERT_NE(exec::plan_for(c), nullptr);
+
+  for (std::size_t p = 0; p < c.num_parameters(); ++p) {
+    const Operation& via_table = c.operation_for_parameter(p);
+    const Operation& via_scan = scan.operation_for_parameter(p);
+    // Same position in the op list, not merely equal fields.
+    EXPECT_EQ(&via_table - c.operations().data(),
+              &via_scan - scan.operations().data())
+        << p;
+    EXPECT_EQ(via_table.param_index, p);
+  }
+}
+
+TEST(CompiledCircuit, MalformedCustomGateFallsBackToInterpreted) {
+  Circuit c(2);
+  c.add_rotation(gates::Axis::kY, 0);
+  c.add_custom_gate("bad-dims", ComplexMatrix(3, 3), 1);
+
+  // Lowering fails, so plan_for declines to attach anything...
+  EXPECT_EQ(exec::plan_for(c), nullptr);
+  EXPECT_EQ(c.execution_plan(), nullptr);
+  // ...and execution still reports the malformed gate the usual way.
+  EXPECT_THROW((void)c.simulate(std::vector<double>{0.3}), InvalidArgument);
+}
+
+TEST(CompiledCircuit, NoisySimulatorMatchesInterpreted) {
+  Rng rng(51);
+  Circuit c = random_circuit(rng, 3, 20);
+  const Circuit interpreted = c;
+  const auto params = rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+  const GlobalZeroObservable obs(3);
+  const NoiseModel noise = make_depolarizing_model(0.01, 0.02);
+
+  ASSERT_NE(exec::plan_for(c), nullptr);
+  const double compiled = noisy_expectation(c, params, obs, noise);
+  double reference = 0.0;
+  {
+    exec::ScopedExecutionPlans off(false);
+    reference = noisy_expectation(interpreted, params, obs, noise);
+  }
+  EXPECT_EQ(compiled, reference);
+}
+
+TEST(CompiledCircuit, PartialEvaluatorMatchesFullSimulation) {
+  Rng rng(61);
+  Circuit c = random_circuit(rng, 3, 25);
+  const auto params = rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+  const GlobalZeroObservable obs(3);
+  const auto plan = exec::plan_for(c);
+  ASSERT_NE(plan, nullptr);
+
+  for (std::size_t i = 0; i < c.num_parameters(); ++i) {
+    exec::PartialEvaluator cost(plan, obs, params, i);
+    // delta = 0 reproduces the unshifted cost bit-for-bit.
+    EXPECT_EQ(cost(0.0), obs.expectation(plan->simulate(params))) << i;
+  }
+}
+
+}  // namespace
+}  // namespace qbarren
