@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "bench_common.hpp"
+#include "qbarren/analysis/plan_verify.hpp"
 #include "qbarren/circuit/ansatz.hpp"
 #include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
@@ -133,6 +134,11 @@ void time_compiled_vs_interpreted(benchmark::State& state, const Setup& setup,
     state.counters["fused_ops"] = static_cast<double>(stats.fused_source_ops);
     state.counters["matrices_cached"] =
         static_cast<double>(stats.cached_matrices);
+    // QB010's static cost model, so each uploaded JSON pairs the measured
+    // times with the plan's predicted work per application.
+    const PlanResourceEstimate estimate = estimate_plan_resources(*plan);
+    state.counters["plan_flops"] = estimate.flops;
+    state.counters["plan_bytes"] = estimate.bytes;
   }
 }
 
@@ -169,6 +175,45 @@ void bm_compiled_parameter_shift_last_param(benchmark::State& state) {
 }
 BENCHMARK(bm_compiled_parameter_shift_last_param)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- plan verification overhead ---------------------------------------------
+//
+// The --verify-plans flag adds one verify_plan() call per fresh lowering.
+// This bench times compilation and verification of the same circuit
+// separately and reports both plus their ratio. Both are one-time
+// microsecond-scale costs amortized over thousands of plan applications;
+// the counters keep the verifier honest as checks grow (today it costs
+// ~2x the — very cheap — compile step, i.e. microseconds per plan).
+
+void bm_plan_verify(benchmark::State& state) {
+  const Setup setup(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)));
+  using Clock = std::chrono::steady_clock;
+  double compile_seconds = 0.0;
+  double verify_seconds = 0.0;
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    const auto plan = exec::CompiledCircuit::compile(setup.circuit);
+    const auto t1 = Clock::now();
+    const Diagnostics diagnostics = verify_plan(setup.circuit, *plan);
+    const auto t2 = Clock::now();
+    benchmark::DoNotOptimize(diagnostics.size());
+    compile_seconds += std::chrono::duration<double>(t1 - t0).count();
+    verify_seconds += std::chrono::duration<double>(t2 - t1).count();
+    findings = diagnostics.size();
+  }
+  const double n = static_cast<double>(state.iterations());
+  state.counters["compile_seconds"] = compile_seconds / n;
+  state.counters["verify_seconds"] = verify_seconds / n;
+  state.counters["verify_over_compile"] =
+      compile_seconds > 0.0 ? verify_seconds / compile_seconds : 0.0;
+  state.counters["verify_findings"] = static_cast<double>(findings);
+  state.SetLabel("verify_plan vs compile, one plan");
+}
+BENCHMARK(bm_plan_verify)
+    ->Args({4, 2})->Args({10, 5})->Args({6, 40})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -15,14 +15,21 @@
 //                          motivational [--qubits 10] [--layers 50]
 //                          [--cost global|local|zz] [--seed 42]
 //                          [--param last|middle|first] [--format table|json]
-//                          [--rules]
+//                          [--verify-plan] [--rules]
 //
-// `lint` statically analyzes a circuit (rules QB001-QB007: dead
-// parameters, barren-plateau risk, redundant rotations, ...) and exits 1
-// when any error-severity finding fires. The experiment runners
+// `lint` statically analyzes a circuit (rules QB001-QB010: dead
+// parameters, barren-plateau risk, redundant rotations, cancelling gate
+// pairs, light-cone widths, plan cost, ...) and exits 1 when any
+// error-severity finding fires. With --verify-plan it additionally lowers
+// the circuit to a compiled execution plan and statically verifies the
+// lowering (PlanVerifier, codes QP100-QP106). The experiment runners
 // (variance / train / sweep) run the same analysis as a preflight:
 // --lint=warn (default) prints findings and launches, --lint=error
-// refuses to launch on error findings, --lint=off skips the check.
+// refuses to launch on error findings, --lint=off skips the check. With
+// --verify-plans the runners also verify every compiled plan on first
+// attach (results are byte-identical; a failed verification aborts the
+// run). `landscape` accepts --verify-plans too, covering the Fig 1
+// motivational circuit's lowering.
 //
 // Long runs (variance / train / sweep) accept --checkpoint <file>: every
 // completed cell is flushed atomically, Ctrl-C (SIGINT/SIGTERM) stops the
@@ -48,10 +55,13 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 
+#include "qbarren/analysis/plan_verify.hpp"
 #include "qbarren/analysis/preflight.hpp"
 #include "qbarren/bp/expressibility.hpp"
 #include "qbarren/bp/landscape.hpp"
@@ -143,6 +153,25 @@ void preflight(const CliArgs& args, const Diagnostics& diagnostics,
   enforce_preflight(diagnostics, mode, what);
 }
 
+/// Opt-in --verify-plans: while the guard is alive, every compiled plan is
+/// statically verified on first attach (PlanVerifier, QP1xx codes); a
+/// failing plan throws PlanVerificationError out of the run. Verification
+/// reads the plan without touching execution, so results are byte-identical
+/// to an unverified run.
+std::unique_ptr<ScopedPlanVerification> plan_verification(const CliArgs& args) {
+  if (!args.get_bool("verify-plans", false)) return nullptr;
+  return std::make_unique<ScopedPlanVerification>();
+}
+
+void report_plan_verification(
+    const std::unique_ptr<ScopedPlanVerification>& guard) {
+  if (guard == nullptr) return;
+  std::fprintf(stderr,
+               "plan verification: %zu plan(s) statically verified, "
+               "%zu warning(s)\n",
+               guard->plans_verified(), guard->warnings());
+}
+
 int cmd_variance(const CliArgs& args) {
   VarianceExperimentOptions options;
   options.qubit_counts.clear();
@@ -169,9 +198,11 @@ int cmd_variance(const CliArgs& args) {
 
   preflight(args, lint_variance_options(options), "variance preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto verification = plan_verification(args);
   const VarianceResult result =
       VarianceExperiment(options).run_paper_set(FanMode::kLayerTensor,
                                                 resilient.control);
+  report_plan_verification(verification);
   report_failures(result.failures);
   std::printf("%s\n%s", result.variance_table().to_ascii().c_str(),
               result.decay_table().to_ascii().c_str());
@@ -213,9 +244,11 @@ int cmd_train(const CliArgs& args) {
   const TrainingExperimentOptions options = training_options_from(args);
   preflight(args, lint_training_options(options), "train preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto verification = plan_verification(args);
   const TrainingResult result =
       TrainingExperiment(options).run_paper_set(FanMode::kLayerTensor,
                                                 resilient.control);
+  report_plan_verification(verification);
   report_failures(result.failures);
   std::printf("%s\n%s", result.loss_table(5).to_ascii().c_str(),
               result.summary_table().to_ascii().c_str());
@@ -234,9 +267,11 @@ int cmd_sweep(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("repetitions", 5));
   preflight(args, lint_sweep_options(options), "sweep preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto verification = plan_verification(args);
   const auto owned = paper_initializers();
   const TrainingSweepResult result =
       run_training_sweep(borrow(owned), options, resilient.control);
+  report_plan_verification(verification);
   report_failures(result.failures);
   std::printf("%s", result.summary_table().to_ascii().c_str());
   return 0;
@@ -251,7 +286,9 @@ int cmd_landscape(const CliArgs& args) {
   for (int q : args.get_int_list("qubits", {2, 5, 10})) {
     widths.push_back(static_cast<std::size_t>(q));
   }
+  const auto verification = plan_verification(args);
   std::printf("%s", landscape_flatness_table(widths, base).to_ascii().c_str());
+  report_plan_verification(verification);
   if (args.has("json")) {
     LandscapeOptions single = base;
     single.qubits = widths.front();
@@ -357,7 +394,15 @@ int cmd_lint(const CliArgs& args) {
     }
   }
 
-  const Diagnostics diagnostics = lint_circuit(circuit, context);
+  Diagnostics diagnostics = lint_circuit(circuit, context);
+  if (args.get_bool("verify-plan", false)) {
+    // verify-plan mode: lower the circuit and statically verify the
+    // compiled plan against it (QP1xx findings join the QB report).
+    Diagnostics plan_findings = verify_circuit_lowering(circuit);
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(plan_findings.begin()),
+                       std::make_move_iterator(plan_findings.end()));
+  }
   const std::string format = args.get_string("format", "table");
   if (format == "json") {
     std::printf("%s\n", to_json(diagnostics).dump(2).c_str());
@@ -379,9 +424,12 @@ void print_help() {
       "subcommands: variance | train | sweep | landscape | express | "
       "lightcone | lint\n"
       "lint statically analyzes a circuit (--qasm <file> or --ansatz\n"
-      "variance|training|motivational; --rules lists rules QB001-QB007);\n"
+      "variance|training|motivational; --rules lists rules QB001-QB010;\n"
+      "--verify-plan also verifies the compiled execution plan, QP1xx);\n"
       "variance/train/sweep accept --lint=off|warn|error (default warn)\n"
-      "to gate the launch on the same analysis.\n"
+      "to gate the launch on the same analysis, and --verify-plans to\n"
+      "statically verify every compiled plan on first attach (results\n"
+      "are byte-identical to an unverified run).\n"
       "long runs accept --checkpoint <file> [--resume]; train/sweep also\n"
       "accept --deadline-sec <s> and --nonfinite throw|abort|fallback.\n"
       "variance/train/sweep run cells in parallel: --jobs <n> (0 = all\n"
@@ -412,6 +460,15 @@ int main(int argc, char** argv) {
     print_help();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
                  command.c_str());
+    return 1;
+  } catch (const qbarren::PlanVerificationError& e) {
+    // A compiled plan failed static verification: a miscompile (or a
+    // corrupted plan) would poison every figure, so the run aborts before
+    // using it. The findings name the exact inconsistency.
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 qbarren::diagnostics_table(e.diagnostics())
+                     .to_ascii()
+                     .c_str());
     return 1;
   } catch (const qbarren::Cancelled& e) {
     // Completed checkpoint cells were flushed before this propagated;

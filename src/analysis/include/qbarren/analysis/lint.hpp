@@ -31,6 +31,19 @@
 //                   non-unitary (linalg/checks.hpp)
 //   QB007  warning  RNG seed reused across experiment cells: their
 //                   samples are identical draws, not independent
+//   QB008  warning  adjacent (up to commutation) constant gate pair
+//                   composes to the identity: the pair cancels and only
+//                   adds depth (adjacency from the dataflow wire graph,
+//                   cancellation by a 2x2/4x4 matrix product check)
+//   QB009  info     per-parameter backward light-cone width report: the
+//                   effective register width each gradient sees, which
+//                   predicts its variance scaling (dataflow fixpoint pass)
+//   QB010  info     statically estimated flops/bytes per application of
+//                   the circuit's compiled plan (plan_verify.hpp cost
+//                   model; also recorded in the bench JSON)
+//
+// QB001/QB004/QB008/QB009 run on the shared dataflow framework
+// (dataflow.hpp) rather than rule-private scans.
 #pragma once
 
 #include <cstdint>

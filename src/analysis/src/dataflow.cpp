@@ -1,0 +1,192 @@
+#include "qbarren/analysis/dataflow.hpp"
+
+#include <algorithm>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+namespace {
+
+std::size_t popcount(const std::vector<bool>& bits) {
+  return static_cast<std::size_t>(std::count(bits.begin(), bits.end(), true));
+}
+
+/// Backward transfer function of one operation: conjugating an observable
+/// through a two-qubit gate spreads its support to both qubits whenever it
+/// touches either; single-qubit gates preserve support.
+std::vector<bool> transfer_backward(const Operation& op,
+                                    std::vector<bool> support) {
+  if (is_two_qubit(op.kind) && (support[op.qubit0] || support[op.qubit1])) {
+    support[op.qubit0] = true;
+    support[op.qubit1] = true;
+  }
+  return support;
+}
+
+}  // namespace
+
+CircuitDataflow::CircuitDataflow(const Circuit& circuit)
+    : circuit_(&circuit), ops_size_(circuit.num_operations()) {
+  const auto& ops = circuit.operations();
+  by_qubit_.resize(circuit.num_qubits());
+  entangled_.assign(circuit.num_qubits(), false);
+  for (auto& chain : prev_) chain.assign(ops_size_, kNoOp);
+  for (auto& chain : next_) chain.assign(ops_size_, kNoOp);
+  param_op_.assign(circuit.num_parameters(), kNoOp);
+  param_use_count_.assign(circuit.num_parameters(), 0);
+
+  struct WireTail {
+    std::size_t op = kNoOp;
+    std::size_t slot = 0;
+  };
+  std::vector<WireTail> tail(circuit.num_qubits());
+
+  for (std::size_t k = 0; k < ops_size_; ++k) {
+    const Operation& op = ops[k];
+    const std::size_t wire_slots = is_two_qubit(op.kind) ? 2 : 1;
+    for (std::size_t s = 0; s < wire_slots; ++s) {
+      const std::size_t w = s == 0 ? op.qubit0 : op.qubit1;
+      QBARREN_REQUIRE(w < circuit.num_qubits(),
+                      "CircuitDataflow: operation qubit out of range");
+      prev_[s][k] = tail[w].op;
+      if (tail[w].op != kNoOp) {
+        next_[tail[w].slot][tail[w].op] = k;
+      }
+      tail[w] = {k, s};
+      by_qubit_[w].push_back(k);
+      if (is_two_qubit(op.kind)) {
+        entangled_[w] = true;
+      }
+    }
+    if (is_parameterized(op.kind)) {
+      QBARREN_REQUIRE(op.param_index < param_op_.size(),
+                      "CircuitDataflow: parameter index out of range");
+      if (param_op_[op.param_index] == kNoOp) {
+        param_op_[op.param_index] = k;
+      }
+      ++param_use_count_[op.param_index];
+    }
+  }
+}
+
+const std::vector<std::size_t>& CircuitDataflow::ops_on_qubit(
+    std::size_t q) const {
+  QBARREN_REQUIRE(q < by_qubit_.size(),
+                  "CircuitDataflow::ops_on_qubit: qubit out of range");
+  return by_qubit_[q];
+}
+
+std::array<std::size_t, 2> CircuitDataflow::wires(std::size_t op) const {
+  QBARREN_REQUIRE(op < ops_size_, "CircuitDataflow::wires: op out of range");
+  const Operation& o = circuit_->operations()[op];
+  return {o.qubit0, o.qubit1};
+}
+
+std::size_t CircuitDataflow::wire_count(std::size_t op) const {
+  QBARREN_REQUIRE(op < ops_size_,
+                  "CircuitDataflow::wire_count: op out of range");
+  return is_two_qubit(circuit_->operations()[op].kind) ? 2 : 1;
+}
+
+std::size_t CircuitDataflow::prev_on_wire(std::size_t op,
+                                          std::size_t qubit) const {
+  QBARREN_REQUIRE(op < ops_size_,
+                  "CircuitDataflow::prev_on_wire: op out of range");
+  const auto w = wires(op);
+  for (std::size_t s = 0; s < wire_count(op); ++s) {
+    if (w[s] == qubit) return prev_[s][op];
+  }
+  throw InvalidArgument(
+      "CircuitDataflow::prev_on_wire: qubit is not a wire of op");
+}
+
+std::size_t CircuitDataflow::next_on_wire(std::size_t op,
+                                          std::size_t qubit) const {
+  QBARREN_REQUIRE(op < ops_size_,
+                  "CircuitDataflow::next_on_wire: op out of range");
+  const auto w = wires(op);
+  for (std::size_t s = 0; s < wire_count(op); ++s) {
+    if (w[s] == qubit) return next_[s][op];
+  }
+  throw InvalidArgument(
+      "CircuitDataflow::next_on_wire: qubit is not a wire of op");
+}
+
+bool CircuitDataflow::entangled(std::size_t q) const {
+  QBARREN_REQUIRE(q < entangled_.size(),
+                  "CircuitDataflow::entangled: qubit out of range");
+  return entangled_[q];
+}
+
+std::size_t CircuitDataflow::op_for_parameter(std::size_t p) const {
+  QBARREN_REQUIRE(p < param_op_.size(),
+                  "CircuitDataflow::op_for_parameter: parameter out of range");
+  return param_op_[p];
+}
+
+std::size_t CircuitDataflow::parameter_use_count(std::size_t p) const {
+  QBARREN_REQUIRE(p < param_use_count_.size(),
+                  "CircuitDataflow::parameter_use_count: parameter out of "
+                  "range");
+  return param_use_count_[p];
+}
+
+CircuitDataflow::LightCone CircuitDataflow::backward_light_cone(
+    const std::vector<std::size_t>& observable_qubits) const {
+  QBARREN_REQUIRE(!observable_qubits.empty(),
+                  "backward_light_cone: empty observable support");
+  std::vector<bool> boundary(circuit_->num_qubits(), false);
+  for (const std::size_t q : observable_qubits) {
+    QBARREN_REQUIRE(q < circuit_->num_qubits(),
+                    "backward_light_cone: observable qubit out of range");
+    boundary[q] = true;
+  }
+
+  const auto& ops = circuit_->operations();
+
+  // seen[k] = support of the observable conjugated through every
+  // operation AFTER k — what operation k "sees" on the backward walk.
+  // Solve seen[k] = transfer(op[k+1], seen[k+1]) (seen[last] = boundary)
+  // by iterating reverse sweeps to a fixpoint. One sweep suffices for a
+  // straight-line program; the extra confirming sweep checks that rather
+  // than assuming it.
+  std::vector<std::vector<bool>> seen(ops_size_);
+  LightCone cone;
+  cone.support_width.assign(ops_size_, 0);
+  bool changed = ops_size_ > 0;
+  while (changed) {
+    changed = false;
+    ++cone.sweeps;
+    for (std::size_t k = ops_size_; k-- > 0;) {
+      std::vector<bool> value = (k + 1 == ops_size_)
+                                    ? boundary
+                                    : transfer_backward(ops[k + 1], seen[k + 1]);
+      if (value != seen[k]) {
+        seen[k] = std::move(value);
+        changed = true;
+      }
+    }
+  }
+
+  cone.alive.assign(circuit_->num_parameters(), false);
+  cone.cone_width.assign(circuit_->num_parameters(), 0);
+  for (std::size_t k = 0; k < ops_size_; ++k) {
+    const Operation& op = ops[k];
+    cone.support_width[k] = popcount(seen[k]);
+    if (!is_parameterized(op.kind)) continue;
+    const bool alive = is_two_qubit(op.kind)
+                           ? (seen[k][op.qubit0] || seen[k][op.qubit1])
+                           : seen[k][op.qubit0];
+    if (alive && !cone.alive[op.param_index]) {
+      cone.alive[op.param_index] = true;
+      cone.cone_width[op.param_index] = cone.support_width[k];
+    }
+  }
+  for (const bool alive : cone.alive) {
+    if (!alive) ++cone.dead_count;
+  }
+  return cone;
+}
+
+}  // namespace qbarren

@@ -5,7 +5,8 @@
 #include <map>
 #include <sstream>
 
-#include "qbarren/bp/lightcone.hpp"
+#include "qbarren/analysis/dataflow.hpp"
+#include "qbarren/analysis/plan_verify.hpp"
 #include "qbarren/common/error.hpp"
 #include "qbarren/linalg/checks.hpp"
 
@@ -77,14 +78,14 @@ class RuleSink {
 
 // --- QB001: structurally dead parameters -----------------------------------
 
-void rule_dead_parameters(const Circuit& circuit,
+void rule_dead_parameters(const Circuit& circuit, const CircuitDataflow& flow,
                           const CircuitLintContext& context,
                           const LintOptions& options, Diagnostics& out) {
   if (context.observable_qubits.empty() || circuit.num_parameters() == 0) {
     return;
   }
-  const LightConeReport report =
-      analyze_light_cone(circuit, context.observable_qubits);
+  const CircuitDataflow::LightCone report =
+      flow.backward_light_cone(context.observable_qubits);
   if (report.dead_count == 0) return;
 
   // The parameter the experiment actually differentiates being dead is the
@@ -184,19 +185,13 @@ void rule_redundant_rotations(const Circuit& circuit,
 
 // --- QB004: qubits no entangler touches -------------------------------------
 
-void rule_unentangled_qubits(const Circuit& circuit, const LintOptions& options,
-                             Diagnostics& out) {
+void rule_unentangled_qubits(const Circuit& circuit,
+                             const CircuitDataflow& flow,
+                             const LintOptions& options, Diagnostics& out) {
   if (circuit.num_qubits() < 2) return;  // nothing to entangle with
-  std::vector<bool> entangled(circuit.num_qubits(), false);
-  for (const Operation& op : circuit.operations()) {
-    if (is_two_qubit(op.kind) || op.kind == OpKind::kControlledRotation) {
-      entangled[op.qubit0] = true;
-      entangled[op.qubit1] = true;
-    }
-  }
   RuleSink sink(out, options, Severity::kWarning, "QB004");
-  for (std::size_t q = 0; q < entangled.size(); ++q) {
-    if (entangled[q]) continue;
+  for (std::size_t q = 0; q < circuit.num_qubits(); ++q) {
+    if (flow.entangled(q)) continue;
     std::ostringstream msg;
     msg << "q[" << q << "] is never touched by an entangling gate: the "
         << "state stays a product across this cut, so the circuit cannot "
@@ -263,6 +258,153 @@ void rule_custom_gates(const Circuit& circuit, const LintOptions& options,
   }
 }
 
+// --- QB008: adjacent cancelling gate pairs ----------------------------------
+
+/// True when the (constant) op's matrix is available for the cancellation
+/// product: non-parameterized, and for custom gates, correctly sized.
+bool has_constant_matrix(const Circuit& circuit, const Operation& op) {
+  if (is_parameterized(op.kind)) return false;
+  if (op.kind == OpKind::kCustomSingle || op.kind == OpKind::kCustomTwo) {
+    const std::size_t dim = op.kind == OpKind::kCustomSingle ? 2 : 4;
+    const ComplexMatrix& m = circuit.custom_gate(op).matrix;
+    return m.rows() == dim && m.cols() == dim;
+  }
+  return true;
+}
+
+/// True when m ≈ c * I with |c| = 1 (a global phase, physically the
+/// identity).
+bool is_scalar_identity(const ComplexMatrix& m, double tol) {
+  const Complex c = m(0, 0);
+  if (std::abs(std::abs(c) - 1.0) > tol) return false;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t col = 0; col < m.cols(); ++col) {
+      const Complex expected = r == col ? c : Complex{};
+      if (std::abs(m(r, col) - expected) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void rule_cancelling_pairs(const Circuit& circuit, const CircuitDataflow& flow,
+                           const LintOptions& options, Diagnostics& out) {
+  RuleSink sink(out, options, Severity::kWarning, "QB008");
+  const std::vector<Operation>& ops = circuit.operations();
+  const double tol = options.unitarity_tolerance;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Operation& op = ops[i];
+    if (!has_constant_matrix(circuit, op)) continue;
+
+    if (!is_two_qubit(op.kind)) {
+      // Wire-graph successor = next op touching this qubit; everything in
+      // between acts on other qubits and commutes past both.
+      const std::size_t j = flow.next_on_wire(i, op.qubit0);
+      if (j == CircuitDataflow::kNoOp) continue;
+      const Operation& next = ops[j];
+      if (is_two_qubit(next.kind) || !has_constant_matrix(circuit, next)) {
+        continue;
+      }
+      const ComplexMatrix product =
+          circuit.operation_matrix(j, {}) * circuit.operation_matrix(i, {});
+      if (!is_scalar_identity(product, tol)) continue;
+      std::ostringstream msg;
+      msg << "ops " << i << " and " << j << " on q[" << op.qubit0
+          << "] are adjacent up to commutation and compose to the identity "
+          << "(up to global phase): the pair cancels and only adds depth";
+      sink.add(msg.str(), op_location(i));
+      continue;
+    }
+
+    // Two-qubit pair: the next op on BOTH wires must be the same op, i.e.
+    // nothing in between touches either qubit.
+    const std::size_t j = flow.next_on_wire(i, op.qubit0);
+    if (j == CircuitDataflow::kNoOp ||
+        j != flow.next_on_wire(i, op.qubit1)) {
+      continue;
+    }
+    const Operation& next = ops[j];
+    if (!is_two_qubit(next.kind) || !has_constant_matrix(circuit, next)) {
+      continue;
+    }
+    ComplexMatrix next_matrix = circuit.operation_matrix(j, {});
+    if (next.qubit0 == op.qubit1 && next.qubit1 == op.qubit0) {
+      // Same pair in the opposite order: express next's matrix in op's
+      // qubit order by conjugating with SWAP.
+      next_matrix = gates::swap() * next_matrix * gates::swap();
+    } else if (next.qubit0 != op.qubit0 || next.qubit1 != op.qubit1) {
+      continue;  // unreachable: sharing both wires means the same pair
+    }
+    const ComplexMatrix product =
+        next_matrix * circuit.operation_matrix(i, {});
+    if (!is_scalar_identity(product, tol)) continue;
+    std::ostringstream msg;
+    msg << "ops " << i << " and " << j << " on (q[" << op.qubit0 << "], q["
+        << op.qubit1 << "]) are adjacent up to commutation and compose to "
+        << "the identity (up to global phase): the pair cancels and only "
+        << "adds depth";
+    sink.add(msg.str(), op_location(i));
+  }
+}
+
+// --- QB009: per-parameter light-cone width report ---------------------------
+
+void rule_cone_widths(const Circuit& circuit, const CircuitDataflow& flow,
+                      const CircuitLintContext& context, Diagnostics& out) {
+  if (context.observable_qubits.empty() || circuit.num_parameters() == 0) {
+    return;
+  }
+  const CircuitDataflow::LightCone cone =
+      flow.backward_light_cone(context.observable_qubits);
+  std::vector<std::size_t> widths;
+  widths.reserve(cone.alive.size());
+  for (std::size_t p = 0; p < cone.alive.size(); ++p) {
+    if (cone.alive[p]) widths.push_back(cone.cone_width[p]);
+  }
+  if (widths.empty()) return;  // all dead: QB001 already reports that
+  std::sort(widths.begin(), widths.end());
+  std::ostringstream msg;
+  msg << "backward light-cone widths across " << cone.alive.size()
+      << " parameter(s): min " << widths.front() << ", median "
+      << widths[widths.size() / 2] << ", max " << widths.back() << " of "
+      << circuit.num_qubits() << " qubit(s)";
+  if (cone.dead_count > 0) {
+    msg << " (" << cone.dead_count << " structurally dead)";
+  }
+  msg << "; a gradient's variance scales with the effective register its "
+      << "parameter sees, not the full width (McClean et al. 2018)";
+  out.push_back({Severity::kInfo, "QB009", msg.str(), "light-cone"});
+
+  if (context.differentiated_parameter.has_value()) {
+    const std::size_t k = *context.differentiated_parameter;
+    if (k < cone.alive.size() && cone.alive[k]) {
+      std::ostringstream detail;
+      detail << "differentiated parameter " << k
+             << " sees a backward light cone of " << cone.cone_width[k]
+             << " of " << circuit.num_qubits() << " qubit(s)";
+      out.push_back(
+          {Severity::kInfo, "QB009", detail.str(), param_location(k)});
+    }
+  }
+}
+
+// --- QB010: static plan cost estimate ---------------------------------------
+
+void rule_plan_cost(const Circuit& circuit, Diagnostics& out) {
+  std::shared_ptr<const exec::CompiledCircuit> plan;
+  try {
+    plan = exec::CompiledCircuit::compile(circuit);
+  } catch (const InvalidArgument&) {
+    return;  // unlowerable (malformed custom gate): QB006 reports the cause
+  }
+  const PlanResourceEstimate estimate = estimate_plan_resources(*plan);
+  std::ostringstream msg;
+  msg << "compiled plan: " << estimate.plan_ops << " kernel op(s) ("
+      << estimate.fused_runs << " fused run(s)) on " << circuit.num_qubits()
+      << " qubit(s); estimated " << estimate.flops << " flops and "
+      << estimate.bytes << " bytes moved per application";
+  out.push_back({Severity::kInfo, "QB010", msg.str(), "plan"});
+}
+
 }  // namespace
 
 bool LintOptions::rule_enabled(const std::string& code) const {
@@ -282,9 +424,13 @@ Diagnostics lint_circuit(const Circuit& circuit,
                         circuit.num_parameters(),
                     "lint_circuit: differentiated_parameter out of range");
   }
+  // One dataflow build (wire graph + parameter dependence) shared by every
+  // structural rule.
+  const CircuitDataflow flow(circuit);
+
   Diagnostics out;
   if (options.rule_enabled("QB001")) {
-    rule_dead_parameters(circuit, context, options, out);
+    rule_dead_parameters(circuit, flow, context, options, out);
   }
   if (options.rule_enabled("QB002")) {
     rule_bp_risk(circuit, context, options, out);
@@ -293,13 +439,22 @@ Diagnostics lint_circuit(const Circuit& circuit,
     rule_redundant_rotations(circuit, options, out);
   }
   if (options.rule_enabled("QB004")) {
-    rule_unentangled_qubits(circuit, options, out);
+    rule_unentangled_qubits(circuit, flow, options, out);
   }
   if (options.rule_enabled("QB005")) {
     rule_layer_shape(circuit, out);
   }
   if (options.rule_enabled("QB006")) {
     rule_custom_gates(circuit, options, out);
+  }
+  if (options.rule_enabled("QB008")) {
+    rule_cancelling_pairs(circuit, flow, options, out);
+  }
+  if (options.rule_enabled("QB009")) {
+    rule_cone_widths(circuit, flow, context, out);
+  }
+  if (options.rule_enabled("QB010")) {
+    rule_plan_cost(circuit, out);
   }
   return out;
 }
@@ -360,6 +515,18 @@ const std::vector<LintRuleInfo>& lint_rules() {
        "RNG seed reused across experiment cells: their samples are "
        "identical draws, not independent replicates",
        "paper Sec. 5 experimental protocol (independent repetitions)"},
+      {"QB008", Severity::kWarning,
+       "adjacent (up to commutation) constant gate pair composes to the "
+       "identity: the pair cancels and only adds depth",
+       "circuit identities; analysis/dataflow.hpp wire graph"},
+      {"QB009", Severity::kInfo,
+       "per-parameter backward light-cone width: the effective register "
+       "each gradient sees, predicting its variance scaling",
+       "McClean et al. 2018; Cerezo et al. 2021 cost locality"},
+      {"QB010", Severity::kInfo,
+       "statically estimated flops/bytes per application of the compiled "
+       "execution plan",
+       "exec/compiled_circuit.hpp lowering; plan_verify.hpp cost model"},
   };
   return kRules;
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -103,6 +104,46 @@ class CompiledCircuit final : public ExecutionPlan {
   }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  // --- read-only introspection (static analysis, schedulers) ---------------
+  //
+  // Views into the lowered program. The spans alias plan-owned storage and
+  // stay valid for the plan's lifetime. The PlanVerifier (analysis layer)
+  // checks these against the source circuit without executing either; a
+  // future scheduler can partition the op stream the same way.
+
+  /// The lowered kernel-op stream, in execution order.
+  [[nodiscard]] std::span<const PlanOp> plan_ops() const noexcept {
+    return plan_ops_;
+  }
+
+  /// The deduplicated constant-matrix pool. `single` / `single_inverse`
+  /// are indexed by PlanOp::matrix (kFixedSingle, kCnot) and by the
+  /// `fused` run list (kFusedSingle); `two` / `two_inverse` by
+  /// PlanOp::matrix (kFixedTwo). Forward and inverse entries share one
+  /// indexing.
+  struct MatrixPool {
+    std::span<const gates::Mat2> single;
+    std::span<const gates::Mat2> single_inverse;
+    std::span<const ComplexMatrix> two;
+    std::span<const ComplexMatrix> two_inverse;
+    std::span<const std::uint32_t> fused;  ///< pool2 indices of fused runs
+  };
+  [[nodiscard]] MatrixPool matrix_pool() const noexcept {
+    return {pool2_, pool2_inv_, pool4_, pool4_inv_, fused_};
+  }
+
+  /// One parameter's lowering: the source op and plan op consuming it.
+  /// Both are ExecutionPlan::kNoOperation when nothing consumes the
+  /// parameter; plan_op alone is kNoOperation when the parameter is
+  /// consumed more than once (prefix reuse disabled for it).
+  struct ParamBinding {
+    std::size_t source_op = kNoOperation;
+    std::size_t plan_op = kNoOperation;
+  };
+
+  /// The full binding table, one entry per parameter.
+  [[nodiscard]] std::vector<ParamBinding> param_bindings() const;
+
   /// Full reverse-mode ("adjoint") pass: forward run, value = <phi|H|phi>,
   /// then the inverse double sweep accumulating dC/dtheta into `gradient`
   /// (with +=, so callers pass a zeroed span). Each parameterized op's
@@ -171,6 +212,10 @@ class CompiledCircuit final : public ExecutionPlan {
  private:
   CompiledCircuit() = default;
 
+  // Test-only corruption hook (qbarren/exec/plan_testing.hpp): the
+  // PlanVerifier's negative-path tests seed plan corruptions through it.
+  friend class PlanMutationHook;
+
   std::size_t num_qubits_ = 0;
   std::size_t num_params_ = 0;
   std::vector<PlanOp> plan_ops_;
@@ -205,6 +250,18 @@ class ScopedExecutionPlans {
  private:
   bool previous_;
 };
+
+/// Debug/verification hook fired by plan_for() right after a freshly
+/// compiled plan is attached (cache hits — circuits that already carry a
+/// plan — do not re-fire). Installed by the analysis layer's
+/// ScopedPlanVerification so every lowering in a run is statically checked
+/// exactly once. Returns the previously installed hook so scopes can
+/// restore it. Thread-safe; pass nullptr to clear. The hook may throw —
+/// plan_for() propagates the exception to its caller (the plan stays
+/// attached, so a non-throwing retry does not re-fire the hook).
+using PlanAttachHook =
+    std::function<void(const Circuit&, const CompiledCircuit&)>;
+PlanAttachHook set_plan_attach_hook(PlanAttachHook hook);
 
 /// The plan attached to `circuit`, compiling and attaching one on first
 /// use. Returns nullptr when plans are disabled or the circuit cannot be

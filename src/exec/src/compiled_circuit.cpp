@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <utility>
 
@@ -17,6 +18,16 @@ namespace {
 constexpr std::uint32_t kNoIndex32 = static_cast<std::uint32_t>(-1);
 
 std::atomic<bool> g_plans_enabled{true};
+
+// Plan-attach hook: shared_ptr so plan_for can invoke a stable copy
+// outside the lock while another thread swaps the hook.
+std::mutex g_attach_hook_mutex;
+std::shared_ptr<const PlanAttachHook> g_attach_hook;  // NOLINT(cert-err58-cpp)
+
+std::shared_ptr<const PlanAttachHook> current_attach_hook() {
+  const std::lock_guard<std::mutex> lock(g_attach_hook_mutex);
+  return g_attach_hook;
+}
 
 // Dedup key for cached matrices: everything that determines an op's dense
 // matrix (qubit placement does not).
@@ -281,6 +292,16 @@ void CompiledCircuit::apply_to(StateVector& state,
   QBARREN_REQUIRE(params.size() == num_params_,
                   "CompiledCircuit::apply_to: parameter count mismatch");
   apply_plan_ops(state, params, 0, plan_ops_.size());
+}
+
+std::vector<CompiledCircuit::ParamBinding> CompiledCircuit::param_bindings()
+    const {
+  std::vector<ParamBinding> bindings(num_params_);
+  for (std::size_t p = 0; p < num_params_; ++p) {
+    bindings[p].source_op = param_source_op_[p];
+    bindings[p].plan_op = plan_op_for_parameter(p);
+  }
+  return bindings;
 }
 
 std::size_t CompiledCircuit::source_op_for_parameter(
@@ -595,6 +616,16 @@ ScopedExecutionPlans::~ScopedExecutionPlans() {
   set_execution_plans_enabled(previous_);
 }
 
+PlanAttachHook set_plan_attach_hook(PlanAttachHook hook) {
+  std::shared_ptr<const PlanAttachHook> next =
+      hook ? std::make_shared<const PlanAttachHook>(std::move(hook))
+           : nullptr;
+  const std::lock_guard<std::mutex> lock(g_attach_hook_mutex);
+  std::shared_ptr<const PlanAttachHook> previous =
+      std::exchange(g_attach_hook, std::move(next));
+  return previous ? *previous : PlanAttachHook{};
+}
+
 std::shared_ptr<const CompiledCircuit> plan_for(const Circuit& circuit,
                                                 const CompileOptions& options) {
   if (!execution_plans_enabled()) return nullptr;
@@ -602,16 +633,23 @@ std::shared_ptr<const CompiledCircuit> plan_for(const Circuit& circuit,
           circuit.execution_plan())) {
     return attached;
   }
+  std::shared_ptr<const CompiledCircuit> plan;
   try {
-    auto plan = CompiledCircuit::compile(circuit, options);
-    circuit.attach_execution_plan(plan);
-    return plan;
+    plan = CompiledCircuit::compile(circuit, options);
   } catch (const InvalidArgument&) {
     // Unlowerable circuit (malformed custom gate): execution falls back to
     // the interpreted path, which throws its usual error when (and only
     // when) the op is actually applied.
     return nullptr;
   }
+  circuit.attach_execution_plan(plan);
+  // First attach only: re-requests hit the cache above and do not
+  // re-verify. Hook exceptions propagate past the fallback catch — a
+  // verification failure must not silently degrade to interpretation.
+  if (const auto hook = current_attach_hook()) {
+    (*hook)(circuit, *plan);
+  }
+  return plan;
 }
 
 // --- prefix-state reuse ----------------------------------------------------

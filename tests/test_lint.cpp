@@ -1,5 +1,5 @@
 // Tests for the static circuit/experiment linter (analysis/lint.hpp):
-// one positive and one negative fixture per rule QB001-QB007, the
+// one positive and one negative fixture per rule QB001-QB010, the
 // preflight entry points, and the diagnostics JSON round-trip through
 // the common JSON parser.
 #include <gtest/gtest.h>
@@ -223,6 +223,120 @@ TEST(LintQB006, SilentForUnitaryCustomGates) {
   EXPECT_FALSE(has_code(lint_circuit(circuit), "QB006"));
 }
 
+// --- QB008: adjacent cancelling gate pairs -----------------------------------
+
+TEST(LintQB008, FlagsSelfInverseSingleQubitPair) {
+  Circuit circuit(2);
+  circuit.add_hadamard(0);
+  circuit.add_hadamard(0);  // H H = I
+  const Diagnostics diags = lint_circuit(circuit);
+  ASSERT_EQ(count_code(diags, "QB008"), 1u);
+  const auto it =
+      std::find_if(diags.begin(), diags.end(),
+                   [](const Diagnostic& d) { return d.code == "QB008"; });
+  EXPECT_EQ(it->severity, Severity::kWarning);
+  EXPECT_NE(it->message.find("compose to the identity"), std::string::npos);
+}
+
+TEST(LintQB008, SeesThroughCommutingGatesOnOtherWires) {
+  // The gate between the two H's touches only q[1], so it commutes past
+  // both: the wire graph makes the H's adjacent up to commutation.
+  Circuit circuit(2);
+  circuit.add_hadamard(0);
+  circuit.add_pauli_x(1);
+  circuit.add_hadamard(0);
+  EXPECT_EQ(count_code(lint_circuit(circuit), "QB008"), 1u);
+}
+
+TEST(LintQB008, FlagsTwoQubitPairsIncludingReversedOrder) {
+  Circuit same_order(2);
+  same_order.add_cnot(0, 1);
+  same_order.add_cnot(0, 1);  // CNOT CNOT = I
+  EXPECT_EQ(count_code(lint_circuit(same_order), "QB008"), 1u);
+
+  // CZ is symmetric in its qubits, so cz(0,1) followed by cz(1,0) still
+  // cancels: the rule must compare the matrices in a common qubit order.
+  Circuit reversed(2);
+  reversed.add_cz(0, 1);
+  reversed.add_cz(1, 0);
+  EXPECT_EQ(count_code(lint_circuit(reversed), "QB008"), 1u);
+}
+
+TEST(LintQB008, SilentForNonCancellingOrSeparatedPairs) {
+  Circuit different(2);
+  different.add_hadamard(0);
+  different.add_pauli_x(0);  // X H != I
+  EXPECT_FALSE(has_code(lint_circuit(different), "QB008"));
+
+  // A gate on a shared wire between the pair breaks the adjacency.
+  Circuit blocked(2);
+  blocked.add_cnot(0, 1);
+  blocked.add_pauli_z(1);
+  blocked.add_cnot(0, 1);
+  EXPECT_FALSE(has_code(lint_circuit(blocked), "QB008"));
+
+  // Parameterized rotations have no constant matrix; QB003 owns them.
+  Circuit parameterized(1);
+  parameterized.add_rotation(gates::Axis::kX, 0);
+  parameterized.add_rotation(gates::Axis::kX, 0);
+  EXPECT_FALSE(has_code(lint_circuit(parameterized), "QB008"));
+}
+
+// --- QB009: per-parameter light-cone width report ----------------------------
+
+TEST(LintQB009, ReportsWidthDistributionAndDifferentiatedParameter) {
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 6;
+  const Circuit circuit = variance_ansatz(8, rng, options);
+  CircuitLintContext context;
+  context.observable_qubits = {0, 1};
+  context.differentiated_parameter = 0;  // first parameter: alive
+  const Diagnostics diags = lint_circuit(circuit, context);
+  ASSERT_EQ(count_code(diags, "QB009"), 2u);
+  const auto summary =
+      std::find_if(diags.begin(), diags.end(),
+                   [](const Diagnostic& d) { return d.code == "QB009"; });
+  EXPECT_EQ(summary->severity, Severity::kInfo);
+  EXPECT_NE(summary->message.find("light-cone widths"), std::string::npos);
+  EXPECT_NE(summary->message.find("structurally dead"), std::string::npos);
+  const auto detail = std::find_if(
+      diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.code == "QB009" && d.location == "param 0";
+      });
+  ASSERT_NE(detail, diags.end());
+  EXPECT_NE(detail->message.find("differentiated parameter 0"),
+            std::string::npos);
+}
+
+TEST(LintQB009, SilentWithoutObservableContext) {
+  const Circuit circuit = training_ansatz(4, {});
+  EXPECT_FALSE(has_code(lint_circuit(circuit), "QB009"));
+}
+
+// --- QB010: static plan cost estimate ----------------------------------------
+
+TEST(LintQB010, ReportsCompiledPlanCost) {
+  const Circuit circuit = training_ansatz(4, {});
+  const Diagnostics diags = lint_circuit(circuit);
+  ASSERT_EQ(count_code(diags, "QB010"), 1u);
+  const auto it =
+      std::find_if(diags.begin(), diags.end(),
+                   [](const Diagnostic& d) { return d.code == "QB010"; });
+  EXPECT_EQ(it->severity, Severity::kInfo);
+  EXPECT_EQ(it->location, "plan");
+  EXPECT_NE(it->message.find("flops"), std::string::npos);
+}
+
+TEST(LintQB010, SilentWhenTheCircuitCannotBeLowered) {
+  // A malformed custom gate makes compile() refuse; QB006 owns the cause.
+  Circuit circuit(1);
+  circuit.add_custom_gate("bad-dims", ComplexMatrix(3, 3), 0);
+  const Diagnostics diags = lint_circuit(circuit);
+  EXPECT_FALSE(has_code(diags, "QB010"));
+  EXPECT_TRUE(has_code(diags, "QB006"));
+}
+
 // --- QB007: seed reuse across cells ------------------------------------------
 
 TEST(LintQB007, FlagsReusedSeeds) {
@@ -246,7 +360,7 @@ TEST(LintOptionsTest, DisabledCodesSuppressRules) {
   circuit.add_rotation(gates::Axis::kX, 0);
   circuit.add_rotation(gates::Axis::kX, 0);
   LintOptions options;
-  options.disabled_codes = {"QB003", "QB004", "QB005"};
+  options.disabled_codes = {"QB003", "QB004", "QB005", "QB010"};
   EXPECT_TRUE(lint_circuit(circuit, {}, options).empty());
 }
 
@@ -256,7 +370,7 @@ TEST(LintOptionsTest, PerRuleFindingCapFoldsOverflow) {
     circuit.add_rotation(gates::Axis::kX, 0);
   }
   LintOptions options;
-  options.disabled_codes = {"QB004", "QB005"};
+  options.disabled_codes = {"QB004", "QB005", "QB010"};
   options.max_findings_per_rule = 3;
   const Diagnostics diags = lint_circuit(circuit, {}, options);
   // 9 redundant pairs -> 3 reported + 1 summary.
@@ -265,12 +379,15 @@ TEST(LintOptionsTest, PerRuleFindingCapFoldsOverflow) {
 }
 
 TEST(LintRules, RegistryCoversAllCodesInOrder) {
+  const std::vector<std::string> expected = {
+      "QB001", "QB002", "QB003", "QB004", "QB005",
+      "QB006", "QB007", "QB008", "QB009", "QB010"};
   const auto& rules = lint_rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].code, "QB00" + std::to_string(i + 1));
+    EXPECT_EQ(rules[i].code, expected[i]);
   }
-  EXPECT_EQ(lint_rule_table().data().size(), 7u);
+  EXPECT_EQ(lint_rule_table().data().size(), expected.size());
 }
 
 // --- preflight ---------------------------------------------------------------
