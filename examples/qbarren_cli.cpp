@@ -11,6 +11,15 @@
 //   qbarren_cli landscape  [--qubits 2,5,10] [--layers 100] [--grid 21]
 //   qbarren_cli express    [--qubits 4] [--layers 5] [--pairs 300]
 //   qbarren_cli lightcone  [--qubits 6] [--layers 10]
+//   qbarren_cli serve      --socket <path> [--workers 2] [--cache <file>]
+//                          [--max-pending 4] [--worker-kill-sec S]
+//                          [--crash-attempts 3] [--max-worker-crashes 8]
+//                          | --once <request-file|-> (no socket)
+//   qbarren_cli worker     (internal: spawned by serve; NDJSON on
+//                          stdin/stdout)
+//   qbarren_cli submit     --socket <path> [--request <file>] (default
+//                          stdin); streams the event lines and exits with
+//                          the request's exit code
 //   qbarren_cli lint       --qasm <file> | --ansatz variance|training|
 //                          motivational [--qubits 10] [--layers 50]
 //                          [--cost global|local|zz] [--seed 42]
@@ -52,9 +61,15 @@
 //                          decorators like nan-at:<k>:<engine> inject
 //                          faults for testing the failure paths)
 // Run with no arguments for this help text.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <iterator>
 #include <limits>
 #include <memory>
@@ -72,10 +87,13 @@
 #include "qbarren/common/checkpoint.hpp"
 #include "qbarren/common/cli.hpp"
 #include "qbarren/common/executor.hpp"
+#include "qbarren/common/exit_codes.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/circuit/qasm_parser.hpp"
 #include "qbarren/common/version.hpp"
 #include "qbarren/init/registry.hpp"
+#include "qbarren/serve/server.hpp"
+#include "qbarren/serve/worker.hpp"
 
 namespace {
 
@@ -332,6 +350,130 @@ int cmd_lightcone(const CliArgs& args) {
   return 0;
 }
 
+/// Reads a whole stream (request text for serve --once / submit).
+std::string read_stream(std::istream& in) {
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+serve::ServiceOptions service_options_from(const CliArgs& args) {
+  serve::ServiceOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  options.cache_path = args.get_string("cache", "");
+  options.worker_kill_seconds = args.get_double(
+      "worker-kill-sec", std::numeric_limits<double>::infinity());
+  options.max_crash_attempts =
+      static_cast<std::size_t>(args.get_int("crash-attempts", 3));
+  options.max_worker_crashes =
+      static_cast<std::size_t>(args.get_int("max-worker-crashes", 8));
+  return options;
+}
+
+int cmd_serve(const CliArgs& args) {
+  if (args.has("once")) {
+    // One request from a file (or stdin with "-"), no socket: the full
+    // admission/dispatch/recovery pipeline with the event stream on
+    // stdout. Used by tests and for ad-hoc runs.
+    const std::string path = args.get_string("once", "-");
+    std::string text;
+    if (path == "-") {
+      text = read_stream(std::cin);
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      QBARREN_REQUIRE(in.good(), "serve: cannot open request file '" +
+                                     path + "'");
+      text = read_stream(in);
+    }
+    const serve::RequestSpec spec =
+        serve::request_from_json(parse_json(text));
+    serve::ExperimentService service(service_options_from(args));
+    const serve::RequestOutcome outcome =
+        service.run_request(spec, [](const JsonValue& event) {
+          std::fputs(serve::ndjson_line(event).c_str(), stdout);
+          std::fflush(stdout);
+        });
+    return outcome.exit_code;
+  }
+
+  serve::ServerOptions server;
+  server.socket_path = args.get_string("socket", "");
+  QBARREN_REQUIRE(!server.socket_path.empty(),
+                  "serve needs --socket <path> (or --once <request-file>)");
+  server.max_pending =
+      static_cast<std::size_t>(args.get_int("max-pending", 4));
+  serve::SocketServer socket_server(service_options_from(args), server);
+  std::fprintf(stderr, "qbarren serve: listening on %s\n",
+               server.socket_path.c_str());
+  return socket_server.run();
+}
+
+int cmd_submit(const CliArgs& args) {
+  const std::string socket_path = args.get_string("socket", "");
+  QBARREN_REQUIRE(!socket_path.empty(), "submit needs --socket <path>");
+  std::string text;
+  if (args.has("request")) {
+    const std::string path = args.get_string("request", "");
+    std::ifstream in(path, std::ios::binary);
+    QBARREN_REQUIRE(in.good(),
+                    "submit: cannot open request file '" + path + "'");
+    text = read_stream(in);
+  } else {
+    text = read_stream(std::cin);
+  }
+  // Re-serialize so multi-line request files become one protocol line.
+  const std::string line = serve::ndjson_line(parse_json(text));
+
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  QBARREN_REQUIRE(socket_path.size() < sizeof(address.sun_path),
+                  "submit: socket path too long: " + socket_path);
+  std::memcpy(address.sun_path, socket_path.c_str(),
+              socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  QBARREN_REQUIRE(fd >= 0, "submit: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    throw Error("submit: cannot connect to " + socket_path);
+  }
+  std::size_t offset = 0;
+  while (offset < line.size()) {
+    const ssize_t n =
+        ::write(fd, line.data() + offset, line.size() - offset);
+    QBARREN_REQUIRE(n > 0, "submit: write to service failed");
+    offset += static_cast<std::size_t>(n);
+  }
+
+  // Stream event lines through to stdout; the terminal event carries the
+  // request's exit code.
+  int exit_code = kExitFailure;  // stream ended without a terminal event
+  std::string event_line;
+  char ch = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n <= 0) break;
+    if (ch != '\n') {
+      event_line.push_back(ch);
+      continue;
+    }
+    std::printf("%s\n", event_line.c_str());
+    std::fflush(stdout);
+    try {
+      const JsonValue event = parse_json(event_line);
+      const std::string kind = event.at("event").as_string();
+      if (kind == "done" || kind == "rejected") {
+        exit_code = static_cast<int>(event.at("exit_code").as_integer());
+      }
+    } catch (const std::exception&) {
+      // Non-JSON noise on the stream: pass through, keep reading.
+    }
+    event_line.clear();
+  }
+  ::close(fd);
+  return exit_code;
+}
+
 int cmd_lint(const CliArgs& args) {
   if (args.has("rules")) {
     std::printf("%s", lint_rule_table().to_ascii().c_str());
@@ -415,14 +557,19 @@ int cmd_lint(const CliArgs& args) {
   } else {
     throw InvalidArgument("--format must be table or json");
   }
-  return has_errors(diagnostics) ? 1 : 0;
+  return has_errors(diagnostics) ? kExitFailure : kExitOk;
 }
 
 void print_help() {
   std::printf(
       "qbarren %s — barren-plateau experiments\n"
       "subcommands: variance | train | sweep | landscape | express | "
-      "lightcone | lint\n"
+      "lightcone | lint | serve | submit\n"
+      "serve runs the process-isolated experiment service: NDJSON\n"
+      "requests over a Unix socket (--socket) or a single request with\n"
+      "--once <file|->; submit sends a request and streams the events.\n"
+      "exit codes: 0 ok, 1 failure, 3 admission-rejected/backpressure,\n"
+      "4 worker-crash-budget, 130 interrupted.\n"
       "lint statically analyzes a circuit (--qasm <file> or --ansatz\n"
       "variance|training|motivational; --rules lists rules QB001-QB010;\n"
       "--verify-plan also verifies the compiled execution plan, QP1xx);\n"
@@ -457,10 +604,13 @@ int main(int argc, char** argv) {
     if (command == "express") return cmd_express(args);
     if (command == "lightcone") return cmd_lightcone(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "worker") return qbarren::serve::worker_main(0, 1);
+    if (command == "submit") return cmd_submit(args);
     print_help();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
                  command.c_str());
-    return 1;
+    return qbarren::kExitFailure;
   } catch (const qbarren::PlanVerificationError& e) {
     // A compiled plan failed static verification: a miscompile (or a
     // corrupted plan) would poison every figure, so the run aborts before
@@ -469,18 +619,18 @@ int main(int argc, char** argv) {
                  qbarren::diagnostics_table(e.diagnostics())
                      .to_ascii()
                      .c_str());
-    return 1;
+    return qbarren::kExitFailure;
   } catch (const qbarren::Cancelled& e) {
     // Completed checkpoint cells were flushed before this propagated;
-    // rerun with --resume to finish. 130 matches the shell convention
-    // for SIGINT termination.
+    // rerun with --resume to finish. kExitInterrupted matches the shell
+    // convention for SIGINT termination.
     std::fprintf(stderr,
                  "interrupted: %s\n"
                  "rerun with the same options plus --resume to continue\n",
                  e.what());
-    return 130;
+    return qbarren::kExitInterrupted;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return qbarren::kExitFailure;
   }
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qbarren/bp/cost_kind.hpp"
+#include "qbarren/common/checkpoint.hpp"
 #include "qbarren/common/executor.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/common/stats.hpp"
@@ -45,6 +46,32 @@ struct TrainingExperimentOptions {
 /// experiment's results (checkpoint staleness key).
 [[nodiscard]] std::string options_fingerprint(
     const TrainingExperimentOptions& options);
+
+/// The Eq-3 circuit + cost observable a training run with these options
+/// builds — the fixed context every per-initializer cell shares.
+[[nodiscard]] CostFunction make_training_cost(
+    const TrainingExperimentOptions& options);
+
+/// Trains one (options, initializer) cell exactly as
+/// TrainingExperiment::run does for the cell keyed "init=<name>". The
+/// cell's parameter stream is Rng(options.seed).child(initializer_index),
+/// so any process reproduces the in-process series bit-for-bit. On a
+/// retry (ctx.attempt > 0) a kThrow non-finite policy is escalated to
+/// kFallbackEngine with a parameter-shift fallback — a serve worker
+/// redispatched after a non-finite failure passes the attempt through
+/// ctx to reproduce the in-process retry semantics.
+[[nodiscard]] TrainResult run_training_cell(
+    const TrainingExperimentOptions& options, const CostFunction& cost,
+    const Initializer& initializer, std::size_t initializer_index,
+    const CellContext& ctx);
+
+/// Full TrainResult <-> checkpoint-cell round trip (hexfloat storage, so
+/// restoration is bit-exact). The serve layer uses these to move training
+/// cells between worker processes and the result cache.
+[[nodiscard]] CheckpointCell checkpoint_cell_from_train_result(
+    const TrainResult& result);
+[[nodiscard]] TrainResult train_result_from_checkpoint_cell(
+    const CheckpointCell& cell);
 
 struct TrainingSeries {
   std::string initializer;

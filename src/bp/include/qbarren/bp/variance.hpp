@@ -27,6 +27,9 @@
 
 namespace qbarren {
 
+class GradientEngine;  // grad/engine.hpp; forward-declared to keep this
+                       // header below the grad layer
+
 /// Which parameter's derivative is sampled. The paper uses the last
 /// parameter (kLast). For observables with small support (e.g. the ZZ
 /// ablation cost) the last rotation sits on qubit q-1, *outside the
@@ -70,6 +73,19 @@ struct VarianceExperimentOptions {
 /// checkpoint written under different options is rejected on resume.
 [[nodiscard]] std::string options_fingerprint(
     const VarianceExperimentOptions& options);
+
+/// Computes the gradient samples of one (qubit count, initializer) cell —
+/// the exact computation VarianceExperiment::run performs for the cell
+/// keyed "q=<qubit_counts[qubit_index]>/init=<name>". The cell's RNG
+/// child streams depend only on (options.seed, qubit_index,
+/// initializer_index), so any process — an executor worker thread or a
+/// serve worker process on another machine — reproduces the in-process
+/// samples bit-for-bit. `ctx`, when non-null, is polled for cancellation
+/// between circuits. Throws NumericalError on a non-finite sample.
+[[nodiscard]] std::vector<double> compute_variance_cell(
+    const VarianceExperimentOptions& options, std::size_t qubit_index,
+    const Initializer& initializer, std::size_t initializer_index,
+    const GradientEngine& engine, const CellContext* ctx = nullptr);
 
 /// One (qubit count, initializer) cell of the experiment.
 struct VariancePoint {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <limits>
 #include <mutex>
 
@@ -18,41 +19,6 @@ std::string hexfloat_string(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%a", v);
   return buf;
-}
-
-/// Full TrainResult <-> checkpoint cell round trip. Doubles are stored as
-/// hexfloats by the checkpoint layer, so restoration is bit-exact.
-CheckpointCell cell_from_train_result(const TrainResult& result) {
-  CheckpointCell cell;
-  cell.vectors["loss_history"] = result.loss_history;
-  cell.vectors["gradient_norm_history"] = result.gradient_norm_history;
-  cell.vectors["final_params"] = result.final_params;
-  cell.scalars["initial_loss"] = result.initial_loss;
-  cell.scalars["final_loss"] = result.final_loss;
-  cell.scalars["iterations"] = static_cast<double>(result.iterations);
-  cell.scalars["reached_target"] = result.reached_target ? 1.0 : 0.0;
-  cell.scalars["aborted_non_finite"] =
-      result.aborted_non_finite ? 1.0 : 0.0;
-  cell.scalars["hit_deadline"] = result.hit_deadline ? 1.0 : 0.0;
-  cell.scalars["fallback_invocations"] =
-      static_cast<double>(result.fallback_invocations);
-  return cell;
-}
-
-TrainResult train_result_from_cell(const CheckpointCell& cell) {
-  TrainResult result;
-  result.loss_history = cell.vector("loss_history");
-  result.gradient_norm_history = cell.vector("gradient_norm_history");
-  result.final_params = cell.vector("final_params");
-  result.initial_loss = cell.scalar("initial_loss");
-  result.final_loss = cell.scalar("final_loss");
-  result.iterations = static_cast<std::size_t>(cell.scalar("iterations"));
-  result.reached_target = cell.scalar("reached_target") != 0.0;
-  result.aborted_non_finite = cell.scalar("aborted_non_finite") != 0.0;
-  result.hit_deadline = cell.scalar("hit_deadline") != 0.0;
-  result.fallback_invocations =
-      static_cast<std::size_t>(cell.scalar("fallback_invocations"));
-  return result;
 }
 
 /// Placeholder for a cell that failed within the failure budget: the
@@ -74,16 +40,71 @@ ExecutorOptions executor_options_from(const RunControl& control) {
   return options;
 }
 
-/// Trains one (options, initializer) cell. Engine, fallback, and
-/// optimizer are fresh per call so stateful engines (fault injection,
-/// SPSA) stay cell-deterministic under any job count. On a retry
-/// (ctx.attempt > 0) a kThrow policy is escalated to kFallbackEngine with
-/// the parameter-shift fallback, so a cell poisoned by a transient
-/// non-finite gradient recovers instead of failing identically again.
+/// Merges restore-only "not restored" failures into an executor report's
+/// (already sorted) failure list, keeping key order.
+void merge_missing_failures(std::vector<CellFailure>& failures,
+                            std::vector<CellFailure> missing) {
+  if (missing.empty()) return;
+  failures.insert(failures.end(), std::make_move_iterator(missing.begin()),
+                  std::make_move_iterator(missing.end()));
+  std::sort(failures.begin(), failures.end(),
+            [](const CellFailure& a, const CellFailure& b) {
+              return a.cell < b.cell;
+            });
+}
+
+}  // namespace
+
+CheckpointCell checkpoint_cell_from_train_result(const TrainResult& result) {
+  CheckpointCell cell;
+  cell.vectors["loss_history"] = result.loss_history;
+  cell.vectors["gradient_norm_history"] = result.gradient_norm_history;
+  cell.vectors["final_params"] = result.final_params;
+  cell.scalars["initial_loss"] = result.initial_loss;
+  cell.scalars["final_loss"] = result.final_loss;
+  cell.scalars["iterations"] = static_cast<double>(result.iterations);
+  cell.scalars["reached_target"] = result.reached_target ? 1.0 : 0.0;
+  cell.scalars["aborted_non_finite"] =
+      result.aborted_non_finite ? 1.0 : 0.0;
+  cell.scalars["hit_deadline"] = result.hit_deadline ? 1.0 : 0.0;
+  cell.scalars["fallback_invocations"] =
+      static_cast<double>(result.fallback_invocations);
+  return cell;
+}
+
+TrainResult train_result_from_checkpoint_cell(const CheckpointCell& cell) {
+  TrainResult result;
+  result.loss_history = cell.vector("loss_history");
+  result.gradient_norm_history = cell.vector("gradient_norm_history");
+  result.final_params = cell.vector("final_params");
+  result.initial_loss = cell.scalar("initial_loss");
+  result.final_loss = cell.scalar("final_loss");
+  result.iterations = static_cast<std::size_t>(cell.scalar("iterations"));
+  result.reached_target = cell.scalar("reached_target") != 0.0;
+  result.aborted_non_finite = cell.scalar("aborted_non_finite") != 0.0;
+  result.hit_deadline = cell.scalar("hit_deadline") != 0.0;
+  result.fallback_invocations =
+      static_cast<std::size_t>(cell.scalar("fallback_invocations"));
+  return result;
+}
+
+CostFunction make_training_cost(const TrainingExperimentOptions& options) {
+  TrainingAnsatzOptions ansatz_options;
+  ansatz_options.layers = options.layers;
+  auto circuit = std::make_shared<const Circuit>(
+      training_ansatz(options.qubits, ansatz_options));
+  return CostFunction(std::move(circuit),
+                      make_cost_observable(options.cost, options.qubits));
+}
+
+/// Engine, fallback, and optimizer are fresh per call so stateful engines
+/// (fault injection, SPSA) stay cell-deterministic under any job count.
 TrainResult run_training_cell(const TrainingExperimentOptions& options,
                               const CostFunction& cost,
-                              const Initializer& initializer, std::size_t t,
+                              const Initializer& initializer,
+                              std::size_t initializer_index,
                               const CellContext& ctx) {
+  const std::size_t t = initializer_index;
   const auto engine = make_gradient_engine(options.gradient_engine);
   NonFinitePolicy policy = options.non_finite_policy;
   if (ctx.attempt > 0 && policy == NonFinitePolicy::kThrow) {
@@ -114,8 +135,6 @@ TrainResult run_training_cell(const TrainingExperimentOptions& options,
       make_optimizer(options.optimizer, options.learning_rate);
   return train(cost, *engine, *optimizer, std::move(params), train_options);
 }
-
-}  // namespace
 
 std::string options_fingerprint(const TrainingExperimentOptions& options) {
   std::string fp = "training/v1";
@@ -171,13 +190,10 @@ TrainingResult TrainingExperiment::run(
         "TrainingExperiment::run: checkpoint fingerprint does not match "
         "this experiment's options");
   }
+  QBARREN_REQUIRE(!control.restore_only || checkpoint != nullptr,
+                  "TrainingExperiment::run: restore_only needs a checkpoint");
 
-  TrainingAnsatzOptions ansatz_options;
-  ansatz_options.layers = options_.layers;
-  auto circuit = std::make_shared<const Circuit>(
-      training_ansatz(options_.qubits, ansatz_options));
-  const CostFunction cost(circuit,
-                          make_cost_observable(options_.cost, options_.qubits));
+  const CostFunction cost = make_training_cost(options_);
 
   TrainingResult result;
   result.options = options_;
@@ -192,18 +208,26 @@ TrainingResult TrainingExperiment::run(
   std::mutex deposit_mu;  // guards result/checkpoint/progress deposits
 
   std::vector<CellTask> tasks;
+  std::vector<CellFailure> missing;
   for (std::size_t t = 0; t < initializers.size(); ++t) {
     const std::string key =
         control.cell_prefix + "init=" + initializers[t]->name();
     if (checkpoint != nullptr) {
       if (const CheckpointCell* cell = checkpoint->find_cell(key)) {
-        result.series[t].result = train_result_from_cell(*cell);
+        result.series[t].result = train_result_from_checkpoint_cell(*cell);
         if (control.progress) {
           control.progress(
               RunProgress{key, ++completed_cells, total_cells, true});
         }
         continue;
       }
+    }
+    if (control.restore_only) {
+      missing.push_back(CellFailure{key, CellErrorClass::kCancelled,
+                                    "cell not restored (restore-only "
+                                    "assembly)",
+                                    0});
+      continue;
     }
 
     tasks.push_back(CellTask{
@@ -216,7 +240,8 @@ TrainingResult TrainingExperiment::run(
 
           std::lock_guard<std::mutex> lock(deposit_mu);
           if (checkpoint != nullptr) {
-            checkpoint->record_cell(key, cell_from_train_result(trained));
+            checkpoint->record_cell(key,
+                                    checkpoint_cell_from_train_result(trained));
           }
           result.series[t].result = std::move(trained);
           if (control.progress) {
@@ -229,6 +254,7 @@ TrainingResult TrainingExperiment::run(
   const Executor executor(executor_options_from(control));
   ExecutorReport report = executor.run(std::move(tasks));
   result.failures = std::move(report.failures);
+  merge_missing_failures(result.failures, std::move(missing));
   return result;
 }
 
@@ -323,6 +349,8 @@ TrainingSweepResult run_training_sweep(
         "run_training_sweep: checkpoint fingerprint does not match this "
         "sweep's options");
   }
+  QBARREN_REQUIRE(!control.restore_only || control.checkpoint != nullptr,
+                  "run_training_sweep: restore_only needs a checkpoint");
 
   // Validate the base options once (throws exactly what per-repetition
   // construction used to).
@@ -330,12 +358,7 @@ TrainingSweepResult run_training_sweep(
 
   // All repetitions share one circuit and cost (only the seed differs);
   // both are immutable and safe to evaluate from concurrent cells.
-  TrainingAnsatzOptions ansatz_options;
-  ansatz_options.layers = options.base.layers;
-  auto circuit = std::make_shared<const Circuit>(
-      training_ansatz(options.base.qubits, ansatz_options));
-  const CostFunction cost(
-      circuit, make_cost_observable(options.base.cost, options.base.qubits));
+  const CostFunction cost = make_training_cost(options.base);
 
   TrainingSweepResult result;
   result.options = options;
@@ -355,6 +378,7 @@ TrainingSweepResult run_training_sweep(
   // namespaced per repetition ("rep=<r>/init=<name>"), matching the keys
   // the serial per-repetition runner wrote.
   std::vector<CellTask> tasks;
+  std::vector<CellFailure> missing;
   for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
     TrainingExperimentOptions rep_options = options.base;
     rep_options.seed = splitmix64(options.base.seed ^ (rep + 1));
@@ -365,13 +389,20 @@ TrainingSweepResult run_training_sweep(
       if (control.checkpoint != nullptr) {
         if (const CheckpointCell* cell = control.checkpoint->find_cell(key)) {
           result.series[t].final_losses[rep] =
-              train_result_from_cell(*cell).final_loss;
+              train_result_from_checkpoint_cell(*cell).final_loss;
           if (control.progress) {
             control.progress(
                 RunProgress{key, ++completed_cells, total_cells, true});
           }
           continue;
         }
+      }
+      if (control.restore_only) {
+        missing.push_back(CellFailure{key, CellErrorClass::kCancelled,
+                                      "cell not restored (restore-only "
+                                      "assembly)",
+                                      0});
+        continue;
       }
 
       tasks.push_back(CellTask{
@@ -385,7 +416,7 @@ TrainingSweepResult run_training_sweep(
             std::lock_guard<std::mutex> lock(deposit_mu);
             if (control.checkpoint != nullptr) {
               control.checkpoint->record_cell(
-                  key, cell_from_train_result(trained));
+                  key, checkpoint_cell_from_train_result(trained));
             }
             result.series[t].final_losses[rep] = trained.final_loss;
             if (control.progress) {
@@ -399,6 +430,7 @@ TrainingSweepResult run_training_sweep(
   const Executor executor(executor_options_from(control));
   ExecutorReport report = executor.run(std::move(tasks));
   result.failures = std::move(report.failures);
+  merge_missing_failures(result.failures, std::move(missing));
 
   for (TrainingSweepSeries& s : result.series) {
     s.final_loss_summary = summarize(s.final_losses);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <limits>
 #include <mutex>
 
@@ -77,6 +78,57 @@ std::string options_fingerprint(const VarianceExperimentOptions& options) {
   return fp;
 }
 
+std::vector<double> compute_variance_cell(
+    const VarianceExperimentOptions& options, std::size_t qubit_index,
+    const Initializer& initializer, std::size_t initializer_index,
+    const GradientEngine& engine, const CellContext* ctx) {
+  QBARREN_REQUIRE(qubit_index < options.qubit_counts.size(),
+                  "compute_variance_cell: qubit_index out of range");
+  const std::size_t q = options.qubit_counts[qubit_index];
+  const auto observable = make_cost_observable(options.cost, q);
+  const Rng q_stream = Rng(options.seed).child(qubit_index);
+  std::vector<double> samples(options.circuits_per_point);
+  for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
+    if (ctx != nullptr) {
+      ctx->throw_if_cancelled(
+          "variance experiment at qubits=" + std::to_string(q) +
+          " circuit=" + std::to_string(i));
+    }
+    const Rng circuit_stream = q_stream.child(2 * i);
+    Rng structure_rng = circuit_stream.child(0);
+    VarianceAnsatzOptions ansatz_options;
+    ansatz_options.layers = options.layers;
+    ansatz_options.entangle = options.entangle;
+    ansatz_options.entangler = options.entangler;
+    ansatz_options.topology = options.topology;
+    const Circuit circuit = variance_ansatz(q, structure_rng, ansatz_options);
+    std::size_t which = circuit.num_parameters() - 1;
+    switch (options.which_parameter) {
+      case GradientParameter::kLast:
+        break;
+      case GradientParameter::kMiddle:
+        which = circuit.num_parameters() / 2;
+        break;
+      case GradientParameter::kFirst:
+        which = 0;
+        break;
+    }
+    Rng param_rng = circuit_stream.child(1 + initializer_index);
+    const std::vector<double> params =
+        initializer.initialize(circuit, param_rng);
+    const double g = engine.partial(circuit, *observable, params, which);
+    if (!std::isfinite(g)) {
+      throw NumericalError(
+          "VarianceExperiment::run: non-finite gradient sample "
+          "(initializer '" + initializer.name() + "', qubits " +
+          std::to_string(q) + ", circuit " + std::to_string(i) +
+          ", engine '" + engine.name() + "')");
+    }
+    samples[i] = g;
+  }
+  return samples;
+}
+
 VarianceExperiment::VarianceExperiment(VarianceExperimentOptions options)
     : options_(std::move(options)) {
   QBARREN_REQUIRE(!options_.qubit_counts.empty(),
@@ -115,8 +167,8 @@ VarianceResult VarianceExperiment::run(
         "VarianceExperiment::run: checkpoint fingerprint does not match "
         "this experiment's options");
   }
-
-  const Rng root(options_.seed);
+  QBARREN_REQUIRE(!control.restore_only || checkpoint != nullptr,
+                  "VarianceExperiment::run: restore_only needs a checkpoint");
 
   VarianceResult result;
   result.options = options_;
@@ -157,6 +209,7 @@ VarianceResult VarianceExperiment::run(
   // checkpoint, or computing cells concurrently in any order, reproduces
   // a serial uninterrupted run bit-for-bit.
   std::vector<CellTask> tasks;
+  std::vector<CellFailure> missing;  // restore-only cells not in the store
   for (std::size_t qi = 0; qi < options_.qubit_counts.size(); ++qi) {
     const std::size_t q = options_.qubit_counts[qi];
     for (std::size_t t = 0; t < initializers.size(); ++t) {
@@ -177,11 +230,18 @@ VarianceResult VarianceExperiment::run(
           continue;
         }
       }
+      if (control.restore_only) {
+        missing.push_back(CellFailure{key, CellErrorClass::kCancelled,
+                                      "cell not restored (restore-only "
+                                      "assembly)",
+                                      0});
+        continue;
+      }
 
       tasks.push_back(CellTask{
           key, [this, &control, &deposit, &deposit_mu, &completed_cells,
-                total_cells, checkpoint, root, initializer = initializers[t],
-                qi, t, q, key](CellContext& ctx) {
+                total_cells, checkpoint, initializer = initializers[t],
+                qi, t, key](CellContext& ctx) {
             // Retries recompute the whole cell with the parameter-shift
             // fallback engine — fresh instance per attempt, so stateful
             // engines (fault injection, SPSA) stay cell-deterministic.
@@ -190,47 +250,8 @@ VarianceResult VarianceExperiment::run(
                     ? make_gradient_engine(options_.gradient_engine)
                     : std::unique_ptr<GradientEngine>(
                           std::make_unique<ParameterShiftEngine>());
-            const auto observable = make_cost_observable(options_.cost, q);
-            const Rng q_stream = root.child(qi);
-            std::vector<double> samples(options_.circuits_per_point);
-            for (std::size_t i = 0; i < options_.circuits_per_point; ++i) {
-              ctx.throw_if_cancelled(
-                  "variance experiment at qubits=" + std::to_string(q) +
-                  " circuit=" + std::to_string(i));
-              const Rng circuit_stream = q_stream.child(2 * i);
-              Rng structure_rng = circuit_stream.child(0);
-              VarianceAnsatzOptions ansatz_options;
-              ansatz_options.layers = options_.layers;
-              ansatz_options.entangle = options_.entangle;
-              ansatz_options.entangler = options_.entangler;
-              ansatz_options.topology = options_.topology;
-              const Circuit circuit =
-                  variance_ansatz(q, structure_rng, ansatz_options);
-              std::size_t which = circuit.num_parameters() - 1;
-              switch (options_.which_parameter) {
-                case GradientParameter::kLast:
-                  break;
-                case GradientParameter::kMiddle:
-                  which = circuit.num_parameters() / 2;
-                  break;
-                case GradientParameter::kFirst:
-                  which = 0;
-                  break;
-              }
-              Rng param_rng = circuit_stream.child(1 + t);
-              const std::vector<double> params =
-                  initializer->initialize(circuit, param_rng);
-              const double g =
-                  cell_engine->partial(circuit, *observable, params, which);
-              if (!std::isfinite(g)) {
-                throw NumericalError(
-                    "VarianceExperiment::run: non-finite gradient sample "
-                    "(initializer '" + initializer->name() + "', qubits " +
-                    std::to_string(q) + ", circuit " + std::to_string(i) +
-                    ", engine '" + cell_engine->name() + "')");
-              }
-              samples[i] = g;
-            }
+            const std::vector<double> samples = compute_variance_cell(
+                options_, qi, *initializer, t, *cell_engine, &ctx);
 
             std::lock_guard<std::mutex> lock(deposit_mu);
             if (checkpoint != nullptr) {
@@ -247,6 +268,15 @@ VarianceResult VarianceExperiment::run(
   const Executor executor(executor_options_from(control));
   ExecutorReport report = executor.run(std::move(tasks));
   result.failures = std::move(report.failures);
+  if (!missing.empty()) {
+    result.failures.insert(result.failures.end(),
+                           std::make_move_iterator(missing.begin()),
+                           std::make_move_iterator(missing.end()));
+    std::sort(result.failures.begin(), result.failures.end(),
+              [](const CellFailure& a, const CellFailure& b) {
+                return a.cell < b.cell;
+              });
+  }
 
   // Decay fits: ln Var vs qubit count over the positive-variance points.
   for (VarianceSeries& s : result.series) {

@@ -44,6 +44,21 @@ struct CheckpointCell {
       const std::string& name) const;
 };
 
+/// Outcome of Checkpoint::open_salvaging on a store that failed strict
+/// loading: what was kept, where the damaged bytes went, and why.
+struct CheckpointSalvage {
+  /// True when the on-disk file was damaged and moved aside.
+  bool quarantined = false;
+  /// Destination of the damaged file ("<path>.corrupt"); set whenever a
+  /// quarantine was attempted, even if the rename itself failed.
+  std::string quarantine_path;
+  /// The strict loader's error (empty when the store loaded cleanly).
+  std::string reason;
+  /// Complete cells recovered from the damaged file (0 when the header or
+  /// fingerprint was unusable — foreign data is never salvaged).
+  std::size_t salvaged_cells = 0;
+};
+
 class Checkpoint {
  public:
   static constexpr int kFormatVersion = 1;
@@ -64,6 +79,19 @@ class Checkpoint {
   [[nodiscard]] static Checkpoint open(const std::string& path,
                                        const std::string& fingerprint,
                                        bool resume);
+
+  /// Torn-write-tolerant open: load-if-present, but a file that fails the
+  /// strict loader (truncated mid-cell by a death during flush, corrupt
+  /// bytes, stale fingerprint) is *quarantined* — renamed to
+  /// "<path>.corrupt" — instead of aborting the run, and every complete
+  /// cell parsed before the damage is kept (the damaged cell and anything
+  /// after it are simply recomputed). A missing file yields a fresh store
+  /// with no quarantine. `salvage`, when non-null, receives what happened.
+  /// This is the open mode for long-lived stores (the serve result cache)
+  /// where "refuse to start" is worse than "recompute a few cells".
+  [[nodiscard]] static Checkpoint open_salvaging(
+      const std::string& path, const std::string& fingerprint,
+      CheckpointSalvage* salvage = nullptr);
 
   [[nodiscard]] bool has_cell(const std::string& key) const;
 
@@ -105,5 +133,16 @@ class Checkpoint {
   // (std::mutex is immovable); never null after construction.
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
 };
+
+/// Serializes one cell's payload as the checkpoint format's body lines
+/// ("scalar <name> <hex>\n" / "vector <name> <n> <hex...>\n", no
+/// cell/endcell framing). Doubles are hexfloats, so parse_cell_payload
+/// reproduces the cell bit-for-bit — this is the wire format serve
+/// workers use to return results without any precision loss.
+[[nodiscard]] std::string serialize_cell_payload(const CheckpointCell& cell);
+
+/// Inverse of serialize_cell_payload; throws CheckpointError on any
+/// malformed line.
+[[nodiscard]] CheckpointCell parse_cell_payload(const std::string& text);
 
 }  // namespace qbarren

@@ -46,11 +46,23 @@ enum class CellErrorClass {
   kNonFinite,  ///< NumericalError (NaN/Inf detected); retryable
   kTimeout,    ///< the cell's soft deadline fired (watchdog cancellation)
   kCancelled,  ///< cancelled for another reason (e.g. run abort)
+  /// The worker *process* computing the cell died abnormally (segfault,
+  /// abort, OOM kill, nonzero exit mid-cell). Only the serve layer can
+  /// observe this class — an in-process executor does not survive it.
+  kCrashed,
+  /// The worker process was deliberately SIGKILLed by the serve layer's
+  /// hard watchdog (the cell outlived its hard deadline and did not
+  /// respond to cooperative cancellation).
+  kKilled,
 };
 
 /// Stable lower-case name ("exception", "non-finite", "timeout",
-/// "cancelled") used in summaries and JSON.
+/// "cancelled", "crashed", "killed") used in summaries and JSON.
 [[nodiscard]] const char* cell_error_class_name(CellErrorClass c) noexcept;
+
+/// Inverse of cell_error_class_name; throws NotFound on an unknown name.
+[[nodiscard]] CellErrorClass cell_error_class_from_name(
+    const std::string& name);
 
 /// One failed cell, as reported in ExecutorReport / result JSON.
 struct CellFailure {

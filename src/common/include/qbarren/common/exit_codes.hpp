@@ -1,0 +1,39 @@
+// Process exit-code taxonomy shared by the CLI, the serve layer, and the
+// tests that assert on subprocess outcomes.
+//
+// One header instead of scattered integer literals: the CLI's main(), the
+// serve request lifecycle, the `submit` client, and test_cli.cpp must all
+// agree on what each code means, and a silent divergence (e.g. a new
+// failure path reusing 130) would corrupt scripted retry logic around the
+// service. Codes follow shell conventions: 0 success, small positive for
+// tool-defined failures, 128+signal for deaths-by-signal (130 = SIGINT,
+// the interactive interrupt convention the CLI has used since PR 1).
+#pragma once
+
+namespace qbarren {
+
+/// The run completed (possibly with failed cells inside a non-zero
+/// failure budget — the result JSON's failure list is authoritative).
+inline constexpr int kExitOk = 0;
+
+/// Generic run failure: an experiment error, a failure budget exceeded,
+/// I/O trouble, or a bad command line.
+inline constexpr int kExitFailure = 1;
+
+/// The request never started: admission preflight rejected the spec
+/// (lint errors), the queue was full (backpressure), or the service was
+/// draining. Nothing was computed; resubmitting a *fixed* spec is safe.
+inline constexpr int kExitAdmissionRejected = 3;
+
+/// The per-request worker-crash budget was exhausted: worker processes
+/// died (crashed or were hard-killed) more times than the service allows
+/// for one request. Distinct from kExitFailure so callers can tell "your
+/// spec computes garbage" from "cells keep killing workers".
+inline constexpr int kExitWorkerCrashBudget = 4;
+
+/// Interrupted by SIGINT/SIGTERM (128 + SIGINT). Checkpointed state is
+/// durable: rerunning with --resume (or resubmitting to the service,
+/// which replays its result cache) continues where the run stopped.
+inline constexpr int kExitInterrupted = 130;
+
+}  // namespace qbarren

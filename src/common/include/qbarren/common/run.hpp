@@ -115,6 +115,17 @@ struct RunControl {
   /// inner cells ("rep=3/" + "init=random").
   std::string cell_prefix;
 
+  /// When true, the runner only *assembles*: cells present in the
+  /// checkpoint are restored as usual, but a cell absent from it is
+  /// recorded as a kCancelled failure ("not restored") instead of being
+  /// computed — nothing executes, so assembly is instant and cannot fail
+  /// the way a computation can. Requires `checkpoint` to be set. Restore-
+  /// only failures bypass the executor and therefore do not count against
+  /// max_cell_failures. This is how the serve layer turns a bag of
+  /// worker-computed cells into the exact result object (tables, fits,
+  /// JSON) a serial in-process run would have produced.
+  bool restore_only = false;
+
   /// Called after every completed (or restored) cell. May be invoked from
   /// a worker thread when jobs > 1 (calls are serialized under the
   /// runner's deposit lock, so the callback itself needs no locking).

@@ -47,6 +47,52 @@ double parse_double(std::istringstream& line, const std::string& path,
   return v;
 }
 
+/// Parses one "scalar ..." / "vector ..." body line into `cell`. Returns
+/// false when `tag` is not a payload tag (caller decides what that
+/// means); throws CheckpointError (via corrupt) on a malformed payload
+/// line.
+bool parse_payload_line(const std::string& tag, std::istringstream& fields,
+                        const std::string& path, CheckpointCell& cell) {
+  if (tag == "scalar") {
+    std::string name;
+    if (!(fields >> name) || !is_identifier(name)) {
+      corrupt(path, "bad scalar name");
+    }
+    cell.scalars[name] = parse_double(fields, path, "scalar " + name);
+    return true;
+  }
+  if (tag == "vector") {
+    std::string name;
+    std::size_t count = 0;
+    if (!(fields >> name >> count) || !is_identifier(name)) {
+      corrupt(path, "bad vector header");
+    }
+    std::vector<double>& values = cell.vectors[name];
+    values.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      values[i] = parse_double(fields, path, "vector " + name);
+    }
+    return true;
+  }
+  return false;
+}
+
+void append_cell_payload(std::string& out, const CheckpointCell& cell) {
+  for (const auto& [name, value] : cell.scalars) {
+    out += "scalar " + name + " ";
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, values] : cell.vectors) {
+    out += "vector " + name + " " + std::to_string(values.size());
+    for (const double v : values) {
+      out += ' ';
+      append_double(out, v);
+    }
+    out += '\n';
+  }
+}
+
 }  // namespace
 
 double CheckpointCell::scalar(const std::string& name) const {
@@ -129,26 +175,9 @@ Checkpoint Checkpoint::load(const std::string& path,
       current_key = rest.substr(1);
       current = CheckpointCell{};
       in_cell = true;
-    } else if (tag == "scalar") {
-      if (!in_cell) corrupt(path, "scalar outside cell");
-      std::string name;
-      if (!(fields >> name) || !is_identifier(name)) {
-        corrupt(path, "bad scalar name");
-      }
-      current.scalars[name] =
-          parse_double(fields, path, "scalar " + name);
-    } else if (tag == "vector") {
-      if (!in_cell) corrupt(path, "vector outside cell");
-      std::string name;
-      std::size_t count = 0;
-      if (!(fields >> name >> count) || !is_identifier(name)) {
-        corrupt(path, "bad vector header");
-      }
-      std::vector<double>& values = current.vectors[name];
-      values.resize(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        values[i] = parse_double(fields, path, "vector " + name);
-      }
+    } else if (tag == "scalar" || tag == "vector") {
+      if (!in_cell) corrupt(path, tag + " outside cell");
+      parse_payload_line(tag, fields, path, current);
     } else if (tag == "endcell") {
       if (!in_cell) corrupt(path, "endcell outside cell");
       ckpt.cells_[current_key] = std::move(current);
@@ -176,6 +205,86 @@ Checkpoint Checkpoint::open(const std::string& path,
     return load(path, fingerprint);
   }
   return Checkpoint(path, fingerprint);
+}
+
+Checkpoint Checkpoint::open_salvaging(const std::string& path,
+                                      const std::string& fingerprint,
+                                      CheckpointSalvage* salvage) {
+  CheckpointSalvage report;
+  if (!std::ifstream(path).good()) {
+    if (salvage != nullptr) *salvage = report;
+    return Checkpoint(path, fingerprint);
+  }
+  try {
+    Checkpoint loaded = load(path, fingerprint);
+    if (salvage != nullptr) *salvage = report;
+    return loaded;
+  } catch (const CheckpointError& error) {
+    report.reason = error.what();
+  }
+
+  // Tolerant reparse: keep every cell completed before the first damaged
+  // line. A wrong header, version, or fingerprint keeps nothing — bytes
+  // written under other options must never leak into this store.
+  Checkpoint ckpt(path, fingerprint);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream stream(buffer.str());
+  std::string line;
+  bool header_ok = false;
+  if (std::getline(stream, line)) {
+    std::istringstream header(line);
+    std::string magic;
+    int version = -1;
+    header_ok = static_cast<bool>(header >> magic >> version) &&
+                magic == "qbarren-checkpoint" && version == kFormatVersion;
+  }
+  if (header_ok && std::getline(stream, line) &&
+      line == "fingerprint " + fingerprint) {
+    std::string current_key;
+    CheckpointCell current;
+    bool in_cell = false;
+    try {
+      while (std::getline(stream, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        std::string tag;
+        fields >> tag;
+        if (tag == "cell") {
+          if (in_cell) break;  // damaged framing; stop at last good cell
+          std::string rest;
+          std::getline(fields, rest);
+          if (rest.size() < 2 || rest[0] != ' ') break;
+          current_key = rest.substr(1);
+          current = CheckpointCell{};
+          in_cell = true;
+        } else if (tag == "scalar" || tag == "vector") {
+          if (!in_cell) break;
+          parse_payload_line(tag, fields, path, current);
+        } else if (tag == "endcell") {
+          if (!in_cell) break;
+          ckpt.cells_[current_key] = std::move(current);
+          current = CheckpointCell{};
+          in_cell = false;
+        } else {
+          break;  // "end" (count already known wrong) or unknown tag
+        }
+      }
+    } catch (const CheckpointError&) {
+      // Malformed payload line: everything before it is already kept.
+    }
+  }
+  report.salvaged_cells = ckpt.cells_.size();
+
+  // Move the damaged file aside so the evidence survives and the next
+  // flush starts from a clean slate. A failed rename is not fatal — the
+  // next flush overwrites the damaged file atomically anyway.
+  report.quarantine_path = path + ".corrupt";
+  report.quarantined =
+      std::rename(path.c_str(), report.quarantine_path.c_str()) == 0;
+  if (salvage != nullptr) *salvage = report;
+  return ckpt;
 }
 
 bool Checkpoint::has_cell(const std::string& key) const {
@@ -231,19 +340,7 @@ std::string Checkpoint::serialize_locked() const {
   out += "fingerprint " + fingerprint_ + "\n";
   for (const auto& [key, cell] : cells_) {
     out += "cell " + key + "\n";
-    for (const auto& [name, value] : cell.scalars) {
-      out += "scalar " + name + " ";
-      append_double(out, value);
-      out += '\n';
-    }
-    for (const auto& [name, values] : cell.vectors) {
-      out += "vector " + name + " " + std::to_string(values.size());
-      for (const double v : values) {
-        out += ' ';
-        append_double(out, v);
-      }
-      out += '\n';
-    }
+    append_cell_payload(out, cell);
     out += "endcell\n";
   }
   out += "end " + std::to_string(cells_.size()) + "\n";
@@ -259,6 +356,29 @@ void Checkpoint::flush() const {
   if (path_.empty()) return;
   std::lock_guard<std::mutex> lock(*mutex_);
   write_file_atomic(path_, serialize_locked());
+}
+
+std::string serialize_cell_payload(const CheckpointCell& cell) {
+  std::string out;
+  append_cell_payload(out, cell);
+  return out;
+}
+
+CheckpointCell parse_cell_payload(const std::string& text) {
+  static const std::string where = "<cell payload>";
+  CheckpointCell cell;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (!parse_payload_line(tag, fields, where, cell)) {
+      corrupt(where, "unknown payload tag '" + tag + "'");
+    }
+  }
+  return cell;
 }
 
 }  // namespace qbarren

@@ -223,8 +223,20 @@ const char* cell_error_class_name(CellErrorClass c) noexcept {
     case CellErrorClass::kNonFinite: return "non-finite";
     case CellErrorClass::kTimeout: return "timeout";
     case CellErrorClass::kCancelled: return "cancelled";
+    case CellErrorClass::kCrashed: return "crashed";
+    case CellErrorClass::kKilled: return "killed";
   }
   return "exception";
+}
+
+CellErrorClass cell_error_class_from_name(const std::string& name) {
+  for (const CellErrorClass c :
+       {CellErrorClass::kException, CellErrorClass::kNonFinite,
+        CellErrorClass::kTimeout, CellErrorClass::kCancelled,
+        CellErrorClass::kCrashed, CellErrorClass::kKilled}) {
+    if (name == cell_error_class_name(c)) return c;
+  }
+  throw NotFound("cell_error_class_from_name: unknown class '" + name + "'");
 }
 
 std::string failure_summary(const std::vector<CellFailure>& failures) {

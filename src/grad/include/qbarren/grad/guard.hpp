@@ -8,10 +8,15 @@
 // non-finite recovery path without relying on a numerically fragile
 // circuit.
 //
-// Both compose through make_gradient_engine's name syntax:
+// All compose through make_gradient_engine's name syntax:
 //   "guarded:adjoint"          — adjoint with a non-finite output guard
 //   "nan-at:3:parameter-shift" — parameter-shift whose 4th call (0-based
 //                                index 3) returns NaN
+//   "crash-at:3:adjoint"       — abort() on the 4th call: deterministic
+//                                worker-process death for the serve
+//                                layer's crash-recovery paths
+//   "hang-at:3:adjoint"        — sleep "forever" on the 4th call: a hung
+//                                worker for the hard-kill watchdog
 #pragma once
 
 #include <memory>
@@ -44,19 +49,27 @@ class NonFiniteGuardEngine final : public GradientEngine {
   std::unique_ptr<GradientEngine> inner_;
 };
 
-/// Delegates to `inner` but poisons the output of call number
-/// `nan_call_index` (0-based, counted across gradient / partial /
-/// value_and_gradient) with a quiet NaN. Deterministic: the same call
-/// sequence always fails at the same point.
+/// What FaultInjectedEngine does when the faulting call fires.
+enum class FaultKind {
+  kNan,    ///< poison the call's output with a quiet NaN
+  kCrash,  ///< std::abort() — kills the whole process (worker isolation
+           ///< is the only thing that survives this)
+  kHang,   ///< sleep far past any reasonable watchdog, polling nothing —
+           ///< the uncooperative-cell case soft deadlines cannot reach
+};
+
+/// Delegates to `inner` but injects a deterministic fault on call number
+/// `fault_call_index` (0-based, counted across gradient / partial /
+/// value_and_gradient): the same call sequence always fails at the same
+/// point. kNan poisons that call's output; kCrash aborts the process
+/// before the inner engine runs; kHang sleeps ~1 hour in small chunks.
 class FaultInjectedEngine final : public GradientEngine {
  public:
   FaultInjectedEngine(std::unique_ptr<GradientEngine> inner,
-                      std::size_t nan_call_index);
+                      std::size_t fault_call_index,
+                      FaultKind kind = FaultKind::kNan);
 
-  [[nodiscard]] std::string name() const override {
-    return "nan-at:" + std::to_string(nan_call_index_) + ":" +
-           inner_->name();
-  }
+  [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::vector<double> gradient(
       const Circuit& circuit, const Observable& observable,
       std::span<const double> params) const override;
@@ -71,10 +84,13 @@ class FaultInjectedEngine final : public GradientEngine {
   [[nodiscard]] std::size_t calls_made() const noexcept { return calls_; }
 
  private:
-  [[nodiscard]] bool fire() const;  // advances the counter
+  /// Advances the counter; on the faulting call, crashes/hangs for those
+  /// kinds or returns true (= poison the output) for kNan.
+  [[nodiscard]] bool fire() const;
 
   std::unique_ptr<GradientEngine> inner_;
-  std::size_t nan_call_index_;
+  std::size_t fault_call_index_;
+  FaultKind kind_;
   mutable std::size_t calls_ = 0;
 };
 

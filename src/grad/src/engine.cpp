@@ -1,6 +1,7 @@
 #include "qbarren/grad/engine.hpp"
 
 #include <cstdlib>
+#include <utility>
 
 #include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/guard.hpp"
@@ -40,14 +41,20 @@ ValueAndGradient GradientEngine::value_and_gradient(
 
 std::unique_ptr<GradientEngine> make_gradient_engine(const std::string& name) {
   // Decorator prefixes (see guard.hpp). "guarded:<inner>" wraps a
-  // non-finite output guard; "nan-at:<k>:<inner>" injects a NaN at call k
-  // (deterministic fault injection for resilience tests).
+  // non-finite output guard; "nan-at:<k>:<inner>" poisons call k with a
+  // NaN, "crash-at:<k>:<inner>" abort()s on call k, and
+  // "hang-at:<k>:<inner>" sleeps past any watchdog on call k —
+  // deterministic fault injection for the resilience and serve tests.
   if (name.starts_with("guarded:")) {
     return std::make_unique<NonFiniteGuardEngine>(
         make_gradient_engine(name.substr(std::string("guarded:").size())));
   }
-  if (name.starts_with("nan-at:")) {
-    const std::size_t k_begin = std::string("nan-at:").size();
+  for (const auto& [prefix, kind] :
+       {std::pair<const char*, FaultKind>{"nan-at:", FaultKind::kNan},
+        {"crash-at:", FaultKind::kCrash},
+        {"hang-at:", FaultKind::kHang}}) {
+    if (!name.starts_with(prefix)) continue;
+    const std::size_t k_begin = std::string(prefix).size();
     const std::size_t colon = name.find(':', k_begin);
     if (colon != std::string::npos && colon > k_begin) {
       char* end = nullptr;
@@ -56,11 +63,11 @@ std::unique_ptr<GradientEngine> make_gradient_engine(const std::string& name) {
       if (end != digits.c_str() && *end == '\0') {
         return std::make_unique<FaultInjectedEngine>(
             make_gradient_engine(name.substr(colon + 1)),
-            static_cast<std::size_t>(k));
+            static_cast<std::size_t>(k), kind);
       }
     }
     throw NotFound("make_gradient_engine: malformed fault spec '" + name +
-                   "' (want nan-at:<k>:<engine>)");
+                   "' (want " + prefix + "<k>:<engine>)");
   }
   if (name == "parameter-shift") {
     return std::make_unique<ParameterShiftEngine>();

@@ -1,7 +1,10 @@
 #include "qbarren/grad/guard.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <thread>
 
 namespace qbarren {
 
@@ -57,12 +60,44 @@ ValueAndGradient NonFiniteGuardEngine::value_and_gradient(
 }
 
 FaultInjectedEngine::FaultInjectedEngine(
-    std::unique_ptr<GradientEngine> inner, std::size_t nan_call_index)
-    : inner_(std::move(inner)), nan_call_index_(nan_call_index) {
+    std::unique_ptr<GradientEngine> inner, std::size_t fault_call_index,
+    FaultKind kind)
+    : inner_(std::move(inner)),
+      fault_call_index_(fault_call_index),
+      kind_(kind) {
   QBARREN_REQUIRE(inner_ != nullptr, "FaultInjectedEngine: null inner");
 }
 
-bool FaultInjectedEngine::fire() const { return calls_++ == nan_call_index_; }
+std::string FaultInjectedEngine::name() const {
+  const char* prefix = "nan-at:";
+  switch (kind_) {
+    case FaultKind::kNan: break;
+    case FaultKind::kCrash: prefix = "crash-at:"; break;
+    case FaultKind::kHang: prefix = "hang-at:"; break;
+  }
+  return prefix + std::to_string(fault_call_index_) + ":" + inner_->name();
+}
+
+bool FaultInjectedEngine::fire() const {
+  if (calls_++ != fault_call_index_) return false;
+  switch (kind_) {
+    case FaultKind::kNan:
+      return true;
+    case FaultKind::kCrash:
+      // The deterministic stand-in for a segfault/OOM kill: an abnormal
+      // process death no in-process handler can absorb.
+      std::abort();
+    case FaultKind::kHang:
+      // "Forever" for any test or watchdog, chunked so the hosting
+      // process can still die promptly when SIGKILLed (sleep just gets
+      // cut short — no cleanup runs anyway).
+      for (int i = 0; i < 36000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      return true;
+  }
+  return true;
+}
 
 std::vector<double> FaultInjectedEngine::gradient(
     const Circuit& circuit, const Observable& observable,

@@ -1,0 +1,21 @@
+// Worker-process entry point of the serve layer.
+//
+// `qbarren worker` is the process the service forks for every pool slot.
+// It reads WorkerJob lines from `in_fd`, computes one cell per job with
+// the same RNG child streams as the in-process runners, and writes
+// WorkerReply lines to `out_fd`: a kStart marker before the computation
+// (the hard watchdog's timing anchor), then kOk carrying the cell in
+// checkpoint hexfloat text (bit-exact doubles) or kFail carrying the
+// failure taxonomy. Anything that escapes a cell as a process death —
+// crash-at: aborts, real segfaults — is the *service's* problem to
+// classify; the worker only reports failures it can survive.
+#pragma once
+
+namespace qbarren::serve {
+
+/// Runs the worker job loop until `in_fd` reaches EOF (service closed the
+/// pipe — the graceful shutdown signal). Returns a process exit code: 0 on
+/// clean EOF, 1 when the protocol itself breaks (unparseable job line).
+[[nodiscard]] int worker_main(int in_fd, int out_fd);
+
+}  // namespace qbarren::serve

@@ -1,0 +1,205 @@
+#include "qbarren/serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "qbarren/common/error.hpp"
+#include "qbarren/common/exit_codes.hpp"
+
+namespace qbarren::serve {
+
+namespace {
+
+/// Best-effort full write; a vanished client must not abort the request
+/// (its cells still land in the shared cache).
+void write_all(int fd, const std::string& text) {
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + offset, text.size() - offset);
+    if (n <= 0) return;
+    offset += static_cast<std::size_t>(n);
+  }
+}
+
+void write_event(int fd, const JsonValue& event) {
+  write_all(fd, ndjson_line(event));
+}
+
+JsonValue rejection_event(const char* reason) {
+  JsonValue event = JsonValue::object();
+  event.set("event", "rejected");
+  event.set("reason", reason);
+  event.set("exit_code", static_cast<std::int64_t>(kExitAdmissionRejected));
+  return event;
+}
+
+/// Reads one newline-terminated line from `fd` (the request). Returns
+/// false on EOF/error before a full line arrived.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char ch = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n <= 0) return false;
+    if (ch == '\n') return true;
+    line.push_back(ch);
+    if (line.size() > (1u << 20)) return false;  // oversized request
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServiceOptions service_options,
+                           ServerOptions options)
+    : service_(std::move(service_options)), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() = default;
+
+int SocketServer::run() {
+  if (options_.socket_path.empty()) {
+    throw InvalidArgument("serve: socket path must not be empty");
+  }
+  // A client that disconnects mid-stream must not kill the server with
+  // SIGPIPE; writes to its socket just start failing (write_all ignores).
+  (void)::signal(SIGPIPE, SIG_IGN);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(address.sun_path)) {
+    throw InvalidArgument("serve: socket path too long: " +
+                          options_.socket_path);
+  }
+  std::memcpy(address.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw Error("serve: socket() failed");
+  // Keep server-side fds out of forked workers: an inherited client
+  // connection would hold the stream open after the service closes it,
+  // leaving the client blocked waiting for EOF.
+  (void)::fcntl(listen_fd, F_SETFD, FD_CLOEXEC);
+  (void)::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    throw Error("serve: cannot bind/listen on " + options_.socket_path);
+  }
+
+  CancellationToken drain;
+  ScopedSignalCancellation signal_guard(drain);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> queue;  // accepted connections awaiting service
+  bool active = false;    // a request is currently being served
+  bool accept_done = false;
+
+  // Accept loop: admits into the bounded queue or rejects immediately.
+  std::thread acceptor([&] {
+    while (!drain.cancelled()) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 250);
+      if (ready <= 0) continue;
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client < 0) continue;
+      (void)::fcntl(client, F_SETFD, FD_CLOEXEC);
+      bool reject_backpressure = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        const std::size_t waiting = queue.size() + (active ? 1 : 0);
+        if (waiting > options_.max_pending) {
+          reject_backpressure = true;
+        } else {
+          queue.push_back(client);
+        }
+      }
+      if (reject_backpressure) {
+        write_event(client, rejection_event("backpressure"));
+        ::close(client);
+      } else {
+        cv.notify_all();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      accept_done = true;
+    }
+    cv.notify_all();
+  });
+
+  // Service loop: one queued connection at a time, FIFO.
+  while (true) {
+    int client = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock, std::chrono::milliseconds(250), [&] {
+        return !queue.empty() || accept_done;
+      });
+      if (drain.cancelled() && queue.empty()) break;
+      if (queue.empty()) continue;
+      client = queue.front();
+      queue.pop_front();
+      if (drain.cancelled()) {
+        lock.unlock();
+        write_event(client, rejection_event("draining"));
+        ::close(client);
+        continue;
+      }
+      active = true;
+    }
+
+    std::string line;
+    if (!read_line(client, line)) {
+      write_event(client, rejection_event("no request line"));
+    } else {
+      try {
+        const RequestSpec spec = request_from_json(parse_json(line));
+        (void)service_.run_request(
+            spec, [client](const JsonValue& event) {
+              write_event(client, event);
+            },
+            &drain);
+      } catch (const std::exception& e) {
+        JsonValue event = rejection_event("bad request");
+        event.set("message", e.what());
+        write_event(client, event);
+      }
+    }
+    ::close(client);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      active = false;
+    }
+  }
+
+  acceptor.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    while (!queue.empty()) {
+      write_event(queue.front(), rejection_event("draining"));
+      ::close(queue.front());
+      queue.pop_front();
+    }
+  }
+  ::close(listen_fd);
+  (void)::unlink(options_.socket_path.c_str());
+  service_.shutdown();
+  return kExitInterrupted;
+}
+
+}  // namespace qbarren::serve

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "qbarren/common/error.hpp"
+#include "qbarren/common/exit_codes.hpp"
 
 namespace qbarren {
 namespace {
@@ -106,6 +107,24 @@ TEST(CliArgs, NegativeNumbersAsValues) {
   // A leading dash on a value is fine as long as it is not "--".
   const CliArgs args = parse({"--offset", "-3"});
   EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+TEST(ExitCodes, TaxonomyIsStable) {
+  // These values are API: scripts around `qbarren run/serve/submit` branch
+  // on them (retry-on-4, fix-spec-on-3, resume-on-130), so any change here
+  // is a breaking one and must be deliberate.
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitFailure, 1);
+  EXPECT_EQ(kExitAdmissionRejected, 3);
+  EXPECT_EQ(kExitWorkerCrashBudget, 4);
+  EXPECT_EQ(kExitInterrupted, 130);  // 128 + SIGINT, the shell convention
+}
+
+TEST(ExitCodes, Distinct) {
+  EXPECT_NE(kExitOk, kExitFailure);
+  EXPECT_NE(kExitFailure, kExitAdmissionRejected);
+  EXPECT_NE(kExitAdmissionRejected, kExitWorkerCrashBudget);
+  EXPECT_NE(kExitWorkerCrashBudget, kExitInterrupted);
 }
 
 }  // namespace

@@ -110,6 +110,38 @@ TEST(GradientEngineFactory, RejectsMalformedDecoratorNames) {
   EXPECT_THROW((void)make_gradient_engine("guarded:"), NotFound);
 }
 
+// The crash/hang decorators themselves are only *triggered* through the
+// serve process tests (an in-process abort() would take gtest down with
+// it); here we pin down their construction, naming, and pre-fault
+// transparency.
+TEST(FaultInjectedEngine, CrashAndHangDecoratorsParseAndRoundTripNames) {
+  const auto crash = make_gradient_engine("crash-at:3:adjoint");
+  EXPECT_EQ(crash->name(), "crash-at:3:adjoint");
+  const auto hang = make_gradient_engine("hang-at:0:parameter-shift");
+  EXPECT_EQ(hang->name(), "hang-at:0:parameter-shift");
+  // Decorators nest like any engine name.
+  const auto nested = make_gradient_engine("guarded:crash-at:2:adjoint");
+  EXPECT_EQ(nested->name(), "guarded:crash-at:2:adjoint");
+
+  EXPECT_THROW((void)make_gradient_engine("crash-at:x:adjoint"), NotFound);
+  EXPECT_THROW((void)make_gradient_engine("crash-at:3"), NotFound);
+  EXPECT_THROW((void)make_gradient_engine("hang-at::adjoint"), NotFound);
+  EXPECT_THROW((void)make_gradient_engine("hang-at:1:no-such-engine"),
+               NotFound);
+}
+
+TEST(FaultInjectedEngine, CrashDecoratorTransparentBeforeConfiguredCall) {
+  const SmallProblem p;
+  // Fault scheduled far beyond the calls made here: every output must be
+  // bit-identical to the undecorated engine's.
+  const auto decorated = make_gradient_engine("crash-at:100:adjoint");
+  const auto plain = make_gradient_engine("adjoint");
+  EXPECT_EQ(decorated->gradient(*p.circuit, p.cost.observable(), p.params),
+            plain->gradient(*p.circuit, p.cost.observable(), p.params));
+  EXPECT_EQ(decorated->partial(*p.circuit, p.cost.observable(), p.params, 1),
+            plain->partial(*p.circuit, p.cost.observable(), p.params, 1));
+}
+
 // --- train() non-finite policies --------------------------------------------
 
 TrainResult train_small(const std::string& engine_name,

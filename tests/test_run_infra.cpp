@@ -237,6 +237,87 @@ TEST(Checkpoint, CorruptLinesRejected) {
   EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
 }
 
+TEST(Checkpoint, SalvageQuarantinesTornWriteAndKeepsCompleteCells) {
+  const std::string path = temp_path("ckpt_salvage.ckpt");
+  const std::string quarantine = path + ".corrupt";
+  fs::remove(path);
+  fs::remove(quarantine);
+
+  Checkpoint ckpt(path, "fp");
+  CheckpointCell cell;
+  cell.scalars["x"] = 1.5;
+  cell.vectors["v"] = {0.25, -3.0};
+  ckpt.put_cell("a", cell);
+  ckpt.put_cell("b", cell);
+  ckpt.put_cell("c", cell);
+  ckpt.flush();
+
+  // Hand-truncate mid-cell: a death during flush tears the write after
+  // cell "b" completes but before "c" finishes.
+  std::string bytes = ckpt.serialize();
+  const auto torn = bytes.find("cell c");
+  ASSERT_NE(torn, std::string::npos);
+  bytes.resize(torn + std::string("cell c\nscalar x").size());
+  write_file_atomic(path, bytes);
+  EXPECT_THROW((void)Checkpoint::load(path, "fp"), CheckpointError);
+
+  CheckpointSalvage salvage;
+  Checkpoint recovered = Checkpoint::open_salvaging(path, "fp", &salvage);
+  EXPECT_TRUE(salvage.quarantined);
+  EXPECT_EQ(salvage.quarantine_path, quarantine);
+  EXPECT_FALSE(salvage.reason.empty());
+  EXPECT_EQ(salvage.salvaged_cells, 2u);
+  EXPECT_TRUE(recovered.has_cell("a"));
+  EXPECT_TRUE(recovered.has_cell("b"));
+  EXPECT_FALSE(recovered.has_cell("c"));  // the torn cell is recomputed
+  EXPECT_EQ(recovered.find_cell("a")->scalar("x"), 1.5);
+
+  // The damaged bytes survive as evidence, and the store is writable
+  // again: re-recording the lost cell yields a cleanly loadable file.
+  EXPECT_TRUE(fs::exists(quarantine));
+  EXPECT_EQ(read_file(quarantine), bytes);
+  recovered.record_cell("c", cell);
+  const Checkpoint reloaded = Checkpoint::load(path, "fp");
+  EXPECT_EQ(reloaded.cell_count(), 3u);
+}
+
+TEST(Checkpoint, SalvageKeepsNothingFromForeignFingerprint) {
+  const std::string path = temp_path("ckpt_salvage_foreign.ckpt");
+  fs::remove(path);
+  Checkpoint other(path, "other-fp");
+  CheckpointCell cell;
+  cell.scalars["x"] = 2.0;
+  other.record_cell("a", cell);
+
+  // A store written under different options must not leak cells into this
+  // run, even through the tolerant loader — it is quarantined wholesale.
+  CheckpointSalvage salvage;
+  const Checkpoint recovered =
+      Checkpoint::open_salvaging(path, "fp", &salvage);
+  EXPECT_TRUE(salvage.quarantined);
+  EXPECT_EQ(salvage.salvaged_cells, 0u);
+  EXPECT_EQ(recovered.cell_count(), 0u);
+}
+
+TEST(Checkpoint, SalvageOfCleanOrMissingStoreIsTransparent) {
+  const std::string path = temp_path("ckpt_salvage_clean.ckpt");
+  fs::remove(path);
+
+  // Missing file: fresh store, no quarantine.
+  CheckpointSalvage salvage;
+  Checkpoint fresh = Checkpoint::open_salvaging(path, "fp", &salvage);
+  EXPECT_FALSE(salvage.quarantined);
+  EXPECT_EQ(fresh.cell_count(), 0u);
+
+  // Intact file: loads exactly like the strict loader.
+  fresh.record_cell("a", CheckpointCell{});
+  const Checkpoint loaded = Checkpoint::open_salvaging(path, "fp", &salvage);
+  EXPECT_FALSE(salvage.quarantined);
+  EXPECT_TRUE(salvage.reason.empty());
+  EXPECT_EQ(loaded.cell_count(), 1u);
+  EXPECT_FALSE(fs::exists(path + ".corrupt"));
+}
+
 TEST(Checkpoint, OpenResumeSemantics) {
   const std::string path = temp_path("ckpt_open.ckpt");
   fs::remove(path);
