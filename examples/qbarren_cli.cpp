@@ -25,6 +25,22 @@
 //                          [--cost global|local|zz] [--seed 42]
 //                          [--param last|middle|first] [--format table|json]
 //                          [--verify-plan] [--rules]
+//   qbarren_cli audit      --kind variance|training|sweep [runner flags]
+//                          [--rep-seeds s1,s2,...] | --request <file|->
+//                          [more request files...] | --rules
+//                          [--format table|json]
+//   qbarren_cli fsck       <store> [--fingerprint <fp> | --request <file>
+//                          [--cache] | --kind ... [runner flags]]
+//                          [--format table|json]
+//
+// `audit` statically proves (or refutes) the determinism claims of a
+// configuration before anything runs: it enumerates the exact RNG stream
+// derivations the run will perform and checks rules QD100-QD103 (stream
+// collisions, cross-run seed aliasing, fingerprint soundness, cache-key
+// coverage). `fsck` audits a checkpoint/result-cache store at rest
+// (QD110-QD115: torn records, duplicate cells, version skew, foreign
+// fingerprints, orphan cells). Both exit 1 on error findings, and the
+// serve layer runs the same request audit as part of admission control.
 //
 // `lint` statically analyzes a circuit (rules QB001-QB010: dead
 // parameters, barren-plateau risk, redundant rotations, cancelling gate
@@ -78,6 +94,8 @@
 
 #include "qbarren/analysis/plan_verify.hpp"
 #include "qbarren/analysis/preflight.hpp"
+#include "qbarren/analysis/store_audit.hpp"
+#include "qbarren/analysis/stream_graph.hpp"
 #include "qbarren/bp/expressibility.hpp"
 #include "qbarren/bp/landscape.hpp"
 #include "qbarren/bp/lightcone.hpp"
@@ -92,6 +110,7 @@
 #include "qbarren/circuit/qasm_parser.hpp"
 #include "qbarren/common/version.hpp"
 #include "qbarren/init/registry.hpp"
+#include "qbarren/serve/audit.hpp"
 #include "qbarren/serve/server.hpp"
 #include "qbarren/serve/worker.hpp"
 
@@ -190,7 +209,7 @@ void report_plan_verification(
                guard->plans_verified(), guard->warnings());
 }
 
-int cmd_variance(const CliArgs& args) {
+VarianceExperimentOptions variance_options_from(const CliArgs& args) {
   VarianceExperimentOptions options;
   options.qubit_counts.clear();
   for (int q : args.get_int_list("qubits", {2, 4, 6, 8, 10})) {
@@ -213,7 +232,11 @@ int cmd_variance(const CliArgs& args) {
   } else {
     throw InvalidArgument("--param must be last, middle, or first");
   }
+  return options;
+}
 
+int cmd_variance(const CliArgs& args) {
+  const VarianceExperimentOptions options = variance_options_from(args);
   preflight(args, lint_variance_options(options), "variance preflight");
   ResilientRun resilient(args, options_fingerprint(options));
   const auto verification = plan_verification(args);
@@ -560,11 +583,182 @@ int cmd_lint(const CliArgs& args) {
   return has_errors(diagnostics) ? kExitFailure : kExitOk;
 }
 
+/// Renders a diagnostics report (table or round-trippable JSON) and maps
+/// it to the process exit code — shared by `audit` and `fsck`.
+int report_diagnostics(const CliArgs& args, const Diagnostics& diagnostics) {
+  const std::string format = args.get_string("format", "table");
+  if (format == "json") {
+    std::printf("%s\n", to_json(diagnostics).dump(2).c_str());
+  } else if (format == "table") {
+    if (diagnostics.empty()) {
+      std::printf("no findings\n");
+    } else {
+      std::printf("%s", diagnostics_table(diagnostics).to_ascii().c_str());
+    }
+  } else {
+    throw InvalidArgument("--format must be table or json");
+  }
+  return has_errors(diagnostics) ? kExitFailure : kExitOk;
+}
+
+/// Comma-separated uint64 list ("--rep-seeds 7,7,9"); seeds exceed int
+/// range, so get_int_list is not usable here.
+std::vector<std::uint64_t> parse_seed_list(const std::string& text) {
+  std::vector<std::uint64_t> seeds;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    QBARREN_REQUIRE(!item.empty(), "--rep-seeds: empty list entry");
+    seeds.push_back(std::stoull(item));
+  }
+  QBARREN_REQUIRE(!seeds.empty(), "--rep-seeds needs at least one seed");
+  return seeds;
+}
+
+serve::RequestSpec request_spec_from_file(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    text = read_stream(std::cin);
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    QBARREN_REQUIRE(in.good(), "cannot open request file '" + path + "'");
+    text = read_stream(in);
+  }
+  return serve::request_from_json(parse_json(text));
+}
+
+/// Per-repetition training graphs for an explicit root-seed list — models
+/// a hand-rolled sweep (scripted seeds instead of the derived ladder) so
+/// `audit` can prove or refute its independence claim.
+std::vector<StreamGraph> hand_rolled_sweep_graphs(
+    const TrainingExperimentOptions& base,
+    const std::vector<std::uint64_t>& seeds) {
+  std::vector<StreamGraph> graphs;
+  for (std::size_t rep = 0; rep < seeds.size(); ++rep) {
+    TrainingExperimentOptions rep_options = base;
+    rep_options.seed = seeds[rep];
+    graphs.push_back(
+        training_stream_graph(rep_options, "rep=" + std::to_string(rep)));
+  }
+  return graphs;
+}
+
+int cmd_audit(const CliArgs& args) {
+  if (args.has("rules")) {
+    std::printf("%s", determinism_rule_table().to_ascii().c_str());
+    return 0;
+  }
+
+  // Serve request mode: one file audits that request (stream graph +
+  // fingerprint/wire probes); several files additionally check QD101
+  // across them — requests submitted as independent must not share roots.
+  if (args.has("request") || !args.positional().empty()) {
+    std::vector<serve::RequestSpec> specs;
+    if (args.has("request")) {
+      specs.push_back(request_spec_from_file(args.get_string("request", "")));
+    }
+    for (const std::string& path : args.positional()) {
+      specs.push_back(request_spec_from_file(path));
+    }
+    return report_diagnostics(args, specs.size() == 1
+                                        ? serve::audit_request(specs.front())
+                                        : serve::audit_requests(specs));
+  }
+
+  const std::string kind = args.get_string("kind", "variance");
+  if (kind == "variance") {
+    return report_diagnostics(args,
+                              audit_variance_options(variance_options_from(args)));
+  }
+  if (kind == "training") {
+    return report_diagnostics(args,
+                              audit_training_options(training_options_from(args)));
+  }
+  if (kind == "sweep") {
+    const TrainingExperimentOptions base = training_options_from(args);
+    if (args.has("rep-seeds")) {
+      const auto seeds = parse_seed_list(args.get_string("rep-seeds", ""));
+      return report_diagnostics(
+          args, audit_stream_graphs(hand_rolled_sweep_graphs(base, seeds)));
+    }
+    TrainingSweepOptions options;
+    options.base = base;
+    options.repetitions =
+        static_cast<std::size_t>(args.get_int("repetitions", 5));
+    return report_diagnostics(args, audit_sweep_options(options));
+  }
+  throw InvalidArgument("--kind must be variance, training, or sweep");
+}
+
+int cmd_fsck(const CliArgs& args) {
+  QBARREN_REQUIRE(!args.positional().empty(),
+                  "fsck needs a store path: qbarren fsck <store> "
+                  "[--fingerprint <fp> | --request <file> [--cache] | "
+                  "--kind variance|training|sweep ...]");
+  const std::string store = args.positional().front();
+
+  StoreAuditOptions expectations;
+  if (args.has("request")) {
+    expectations = serve::store_expectations(
+        request_spec_from_file(args.get_string("request", "")),
+        args.get_bool("cache", false));
+  } else if (args.has("fingerprint")) {
+    expectations.expected_fingerprint = args.get_string("fingerprint", "");
+  } else if (args.has("kind")) {
+    // Expectations derived from the same experiment flags the runner
+    // takes: fingerprint + the stream-graph cell enumeration, so fsck and
+    // a --resume of the run agree on what the store may contain.
+    const std::string kind = args.get_string("kind", "");
+    std::vector<StreamGraph> graphs;
+    if (kind == "variance") {
+      const VarianceExperimentOptions options = variance_options_from(args);
+      expectations.expected_fingerprint = options_fingerprint(options);
+      graphs.push_back(variance_stream_graph(options));
+    } else if (kind == "training") {
+      const TrainingExperimentOptions options = training_options_from(args);
+      expectations.expected_fingerprint = options_fingerprint(options);
+      graphs.push_back(training_stream_graph(options));
+    } else if (kind == "sweep") {
+      TrainingSweepOptions options;
+      options.base = training_options_from(args);
+      options.repetitions =
+          static_cast<std::size_t>(args.get_int("repetitions", 5));
+      expectations.expected_fingerprint = options_fingerprint(options);
+      graphs = sweep_stream_graphs(options);
+    } else {
+      throw InvalidArgument("--kind must be variance, training, or sweep");
+    }
+    for (const StreamGraph& graph : graphs) {
+      expectations.expected_cells.insert(expectations.expected_cells.end(),
+                                         graph.cells.begin(),
+                                         graph.cells.end());
+    }
+  }
+
+  const Diagnostics diagnostics = audit_store(store, expectations);
+  const int code = report_diagnostics(args, diagnostics);
+  if (code == kExitOk && args.get_string("format", "table") == "table") {
+    std::printf("%s: clean\n", store.c_str());
+  }
+  return code;
+}
+
 void print_help() {
   std::printf(
       "qbarren %s — barren-plateau experiments\n"
       "subcommands: variance | train | sweep | landscape | express | "
-      "lightcone | lint | serve | submit\n"
+      "lightcone | lint | audit | fsck | serve | submit\n"
+      "audit statically verifies RNG stream independence and fingerprint\n"
+      "soundness (rules QD100-QD103): --kind variance|training|sweep with\n"
+      "the runner's flags, --rep-seeds s1,s2,... to check a hand-rolled\n"
+      "sweep, or serve request files (--request <file|-> / positionals;\n"
+      "several files also check cross-request seed aliasing). --rules\n"
+      "lists the QD family. fsck <store> audits a checkpoint/result-cache\n"
+      "file at rest (QD110-QD115: torn records, duplicates, version skew,\n"
+      "foreign fingerprints, orphan cells) against --fingerprint <fp>,\n"
+      "--request <file> [--cache], or the same --kind flags the runner\n"
+      "takes. Both accept --format table|json and exit 1 on any\n"
+      "error-severity finding. serve runs the same QD audit at admission.\n"
       "serve runs the process-isolated experiment service: NDJSON\n"
       "requests over a Unix socket (--socket) or a single request with\n"
       "--once <file|->; submit sends a request and streams the events.\n"
@@ -604,6 +798,8 @@ int main(int argc, char** argv) {
     if (command == "express") return cmd_express(args);
     if (command == "lightcone") return cmd_lightcone(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "audit") return cmd_audit(args);
+    if (command == "fsck") return cmd_fsck(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "worker") return qbarren::serve::worker_main(0, 1);
     if (command == "submit") return cmd_submit(args);

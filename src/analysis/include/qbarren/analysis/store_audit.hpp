@@ -1,0 +1,71 @@
+// Static checkpoint/result-cache store auditor — the engine of
+// `qbarren fsck`.
+//
+// A checkpoint store is only trustworthy if a resume restores exactly the
+// cells the interrupted run computed, under exactly the options it used.
+// The runtime defends this dynamically (strict fingerprint validation,
+// open_salvaging quarantine); this auditor proves it statically for a file
+// at rest, without mutating anything: it scans the store with the same
+// grammar the loader uses (scan_checkpoint_file) and reports every way the
+// file could lie to a resuming or cache-reading run:
+//
+//   QD110  error    not a readable qbarren checkpoint: missing file,
+//                   foreign magic, unreadable header.
+//   QD111  error    format version skew: written by an incompatible build.
+//   QD112  error    torn or malformed record: truncated cell framing, bad
+//                   payload line, wrong/missing end marker, trailing
+//                   bytes — anything open_salvaging would quarantine.
+//   QD113  error    duplicate cell record: strict loading silently keeps
+//                   the last one, shadowing earlier data.
+//   QD114  error    foreign fingerprint: the store was written under
+//                   different options than the audited spec — a strict
+//                   load would (rightly) refuse it.
+//   QD115  warning  orphan cell: a record no cell of the spec's
+//                   enumeration would ever read — dead weight, or a sign
+//                   the enumeration changed under the store.
+//
+// Verdict contract with the runtime (pinned by tests/test_store_audit.cpp):
+// every corruption `open_salvaging` would quarantine produces at least one
+// QD error finding here, and a store freshly written by flush() audits
+// clean. The auditor is deliberately *stricter* than strict loading in two
+// places the loader tolerates silently: duplicate cell records (last-wins
+// shadowing, QD113) and trailing bytes after the end marker (QD112).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qbarren/analysis/lint.hpp"
+#include "qbarren/common/checkpoint.hpp"
+
+namespace qbarren {
+
+/// What the audited store is *supposed* to contain. All fields optional:
+/// an empty expectation audits pure file structure (QD110-QD113).
+struct StoreAuditOptions {
+  /// When non-empty, the store's fingerprint must match (QD114).
+  std::string expected_fingerprint;
+  /// When non-empty, cell keys outside this enumeration are orphans
+  /// (QD115). Ignored for keys outside `cell_namespace` (below).
+  std::vector<std::string> expected_cells;
+  /// For shared stores (the serve result cache holds cells of many
+  /// fingerprints under "<fingerprint>|<cell>" keys): only keys starting
+  /// with this prefix are checked against expected_cells; foreign-prefix
+  /// keys belong to other requests and are left alone. Empty = every key
+  /// is in scope.
+  std::string cell_namespace;
+  LintOptions lint;
+};
+
+/// Audits the store file at `path` against the expectations. Read-only;
+/// never throws on file content.
+[[nodiscard]] Diagnostics audit_store(const std::string& path,
+                                      const StoreAuditOptions& options = {});
+
+/// The scan the audit was derived from, for callers that want both the
+/// findings and the structural layout (the CLI's table header).
+[[nodiscard]] Diagnostics audit_store_scan(const CheckpointScan& scan,
+                                           const std::string& path,
+                                           const StoreAuditOptions& options = {});
+
+}  // namespace qbarren

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <utility>
 
+#include "qbarren/analysis/stream_graph.hpp"
 #include "qbarren/circuit/ansatz.hpp"
 #include "qbarren/common/rng.hpp"
 
@@ -105,16 +106,17 @@ Diagnostics lint_training_options(const TrainingExperimentOptions& options,
 Diagnostics lint_sweep_options(const TrainingSweepOptions& options,
                                const LintOptions& lint_options) {
   Diagnostics out = lint_training_options(options.base, lint_options);
-  // QB007 over the sweep's derived per-repetition seeds — the same
-  // derivation run_training_sweep uses. splitmix64 makes collisions
-  // practically impossible for distinct reps, but a hand-rolled
-  // TrainingSweepOptions patched to reuse seeds (or a future derivation
-  // bug) is caught here before any cell trains.
+  // QB007 over the sweep's derived per-repetition seeds. The (label, seed)
+  // pairs come from the stream-graph enumerator — the single model of the
+  // derivation run_training_sweep performs — so this preflight, the
+  // runner, and `qbarren audit` can never disagree about which root seeds
+  // a sweep draws. splitmix64 makes collisions practically impossible for
+  // distinct reps, but a hand-rolled TrainingSweepOptions patched to reuse
+  // seeds (or a future derivation bug) is caught here before any cell
+  // trains.
   std::vector<std::pair<std::string, std::uint64_t>> cells;
-  cells.reserve(options.repetitions);
-  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
-    cells.emplace_back("rep=" + std::to_string(rep),
-                       splitmix64(options.base.seed ^ (rep + 1)));
+  for (const StreamGraph& graph : sweep_stream_graphs(options)) {
+    cells.emplace_back(graph.label, graph.root_seed);
   }
   Diagnostics seed_findings = lint_seed_assignments(cells, lint_options);
   out.insert(out.end(), std::make_move_iterator(seed_findings.begin()),

@@ -1,0 +1,163 @@
+#include "qbarren/analysis/store_audit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace qbarren {
+
+namespace {
+
+std::string line_location(const std::string& path, std::size_t line) {
+  if (line == 0) return path;
+  return path + ":" + std::to_string(line);
+}
+
+}  // namespace
+
+Diagnostics audit_store_scan(const CheckpointScan& scan,
+                             const std::string& path,
+                             const StoreAuditOptions& options) {
+  Diagnostics out;
+  const LintOptions& lint = options.lint;
+  const auto emit = [&](Severity severity, const char* code,
+                        std::string message, std::size_t line) {
+    if (!lint.rule_enabled(code)) return;
+    out.push_back({severity, code, std::move(message),
+                   line_location(path, line)});
+  };
+
+  if (!scan.exists || !scan.header_ok) {
+    std::string why = !scan.exists
+                          ? "store cannot be opened"
+                          : "first line is not 'qbarren-checkpoint <version>'";
+    for (const CheckpointScanIssue& issue : scan.issues) {
+      why += "; " + issue.message;
+    }
+    emit(Severity::kError, "QD110",
+         "not a readable qbarren checkpoint: " + why, 0);
+    // Nothing below the header is trustworthy — stop here, matching the
+    // scanner, which parses no further either.
+    return out;
+  }
+
+  if (!scan.version_ok) {
+    emit(Severity::kError, "QD111",
+         "format version skew: store declares version " +
+             std::to_string(scan.version) + ", this build reads version " +
+             std::to_string(Checkpoint::kFormatVersion),
+         1);
+  }
+
+  if (!scan.has_fingerprint) {
+    emit(Severity::kError, "QD112",
+         "missing fingerprint line: the store cannot be matched to any "
+         "run's options",
+         2);
+  } else if (!options.expected_fingerprint.empty() &&
+             scan.fingerprint != options.expected_fingerprint) {
+    emit(Severity::kError, "QD114",
+         "foreign fingerprint: store was written under '" +
+             scan.fingerprint + "', audited spec fingerprints as '" +
+             options.expected_fingerprint +
+             "' — a resume would (rightly) refuse this file; it belongs to "
+             "a different run",
+         2);
+  }
+
+  // Every structural scan issue is a way strict loading would fail and
+  // open_salvaging would quarantine: surface each at its line.
+  std::size_t qd112 = 0;
+  for (const CheckpointScanIssue& issue : scan.issues) {
+    if (!lint.rule_enabled("QD112")) break;
+    if (++qd112 > lint.max_findings_per_rule) continue;
+    emit(Severity::kError, "QD112",
+         "torn or malformed record: " + issue.message, issue.line);
+  }
+  if (qd112 > lint.max_findings_per_rule) {
+    emit(Severity::kError, "QD112",
+         "... and " +
+             std::to_string(qd112 - lint.max_findings_per_rule) +
+             " more QD112 finding(s) suppressed (max_findings_per_rule = " +
+             std::to_string(lint.max_findings_per_rule) + ")",
+         0);
+  }
+  if (!scan.saw_end &&
+      std::none_of(scan.issues.begin(), scan.issues.end(),
+                   [](const CheckpointScanIssue& issue) {
+                     return issue.message.find("end marker") !=
+                            std::string::npos;
+                   })) {
+    emit(Severity::kError, "QD112",
+         "torn or malformed record: file ends without an end marker", 0);
+  }
+
+  // Duplicate records: strict load's std::map silently keeps the last one.
+  {
+    std::map<std::string, std::size_t> first_line;
+    std::size_t qd113 = 0;
+    for (const CheckpointScan::Record& record : scan.records) {
+      const auto [it, inserted] =
+          first_line.emplace(record.key, record.line);
+      if (inserted) continue;
+      if (!lint.rule_enabled("QD113")) continue;
+      if (++qd113 > lint.max_findings_per_rule) continue;
+      emit(Severity::kError, "QD113",
+           "duplicate cell record '" + record.key + "' (first at line " +
+               std::to_string(it->second) +
+               "): strict loading silently keeps the last record, "
+               "shadowing the earlier data",
+           record.line);
+    }
+    if (qd113 > lint.max_findings_per_rule) {
+      emit(Severity::kError, "QD113",
+           "... and " +
+               std::to_string(qd113 - lint.max_findings_per_rule) +
+               " more QD113 finding(s) suppressed (max_findings_per_rule "
+               "= " +
+               std::to_string(lint.max_findings_per_rule) + ")",
+           0);
+    }
+  }
+
+  // Orphans: complete records the audited spec's enumeration never reads.
+  if (!options.expected_cells.empty()) {
+    const std::set<std::string> expected(options.expected_cells.begin(),
+                                         options.expected_cells.end());
+    std::size_t qd115 = 0;
+    for (const CheckpointScan::Record& record : scan.records) {
+      std::string key = record.key;
+      if (!options.cell_namespace.empty()) {
+        if (key.rfind(options.cell_namespace, 0) != 0) continue;
+        key.erase(0, options.cell_namespace.size());
+      }
+      if (expected.count(key) != 0) continue;
+      if (!lint.rule_enabled("QD115")) continue;
+      if (++qd115 > lint.max_findings_per_rule) continue;
+      emit(Severity::kWarning, "QD115",
+           "orphan cell '" + record.key +
+               "': no cell of the audited spec's enumeration reads this "
+               "key — the enumeration changed under the store, or the "
+               "record is dead weight",
+           record.line);
+    }
+    if (qd115 > lint.max_findings_per_rule) {
+      emit(Severity::kWarning, "QD115",
+           "... and " +
+               std::to_string(qd115 - lint.max_findings_per_rule) +
+               " more QD115 finding(s) suppressed (max_findings_per_rule "
+               "= " +
+               std::to_string(lint.max_findings_per_rule) + ")",
+           0);
+    }
+  }
+
+  return out;
+}
+
+Diagnostics audit_store(const std::string& path,
+                        const StoreAuditOptions& options) {
+  return audit_store_scan(scan_checkpoint_file(path), path, options);
+}
+
+}  // namespace qbarren

@@ -1,0 +1,572 @@
+#include "qbarren/analysis/stream_graph.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "qbarren/common/rng.hpp"
+#include "qbarren/init/registry.hpp"
+
+namespace qbarren {
+
+namespace {
+
+/// Per-rule finding collector with the linter's overflow-folding behavior
+/// (same shape as lint.cpp's RuleSink, local to this pass).
+class RuleSink {
+ public:
+  RuleSink(Diagnostics& out, const LintOptions& options, Severity severity,
+           std::string code)
+      : out_(out),
+        enabled_(options.rule_enabled(code)),
+        cap_(options.max_findings_per_rule),
+        severity_(severity),
+        code_(std::move(code)) {}
+
+  void add(std::string message, std::string location) {
+    if (!enabled_) return;
+    ++total_;
+    if (total_ <= cap_) {
+      out_.push_back(
+          {severity_, code_, std::move(message), std::move(location)});
+    }
+  }
+
+  void add(Severity severity, std::string message, std::string location) {
+    if (!enabled_) return;
+    ++total_;
+    if (total_ <= cap_) {
+      out_.push_back(
+          {severity, code_, std::move(message), std::move(location)});
+    }
+  }
+
+  ~RuleSink() {
+    if (total_ > cap_) {
+      std::string message = "... and ";
+      message += std::to_string(total_ - cap_);
+      message += " more ";
+      message += code_;
+      message += " finding(s) suppressed (max_findings_per_rule = ";
+      message += std::to_string(cap_);
+      message += ")";
+      out_.push_back({severity_, code_, std::move(message), ""});
+    }
+  }
+
+  RuleSink(const RuleSink&) = delete;
+  RuleSink& operator=(const RuleSink&) = delete;
+
+ private:
+  Diagnostics& out_;
+  bool enabled_;
+  std::size_t cap_;
+  std::size_t total_ = 0;
+  Severity severity_;
+  std::string code_;
+};
+
+std::uint64_t seed_along(std::uint64_t root,
+                         const std::vector<std::uint64_t>& path) {
+  std::uint64_t seed = root;
+  for (const std::uint64_t index : path) {
+    seed = derive_child_seed(seed, index);
+  }
+  return seed;
+}
+
+StreamLeaf make_leaf(StreamRole role, std::string cell, std::uint64_t root,
+                     std::vector<std::uint64_t> path, bool shared) {
+  StreamLeaf leaf;
+  leaf.role = role;
+  leaf.cell = std::move(cell);
+  leaf.seed = seed_along(root, path);
+  leaf.path = std::move(path);
+  leaf.shared_by_design = shared;
+  return leaf;
+}
+
+std::vector<std::string> paper_init_names() {
+  std::vector<std::string> names;
+  for (const auto& init : paper_initializers(FanMode::kLayerTensor)) {
+    names.push_back(init->name());
+  }
+  return names;
+}
+
+std::string path_string(const std::vector<std::uint64_t>& path) {
+  std::string out = "root";
+  for (const std::uint64_t index : path) {
+    out += "/" + std::to_string(index);
+  }
+  return out;
+}
+
+/// Training derivation under an arbitrary cell-key prefix; backs both the
+/// plain training graph ("init=<name>") and the sweep's per-repetition
+/// graphs ("rep=<r>/init=<name>").
+StreamGraph training_graph_with_prefix(
+    const TrainingExperimentOptions& options, const std::string& label,
+    const std::string& cell_prefix) {
+  StreamGraph graph;
+  graph.label = label;
+  graph.fingerprint = options_fingerprint(options);
+  graph.root_seed = options.seed;
+  graph.engine_ladder = {options.gradient_engine, "parameter-shift"};
+  const std::vector<std::string> names = paper_init_names();
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    const std::string cell = cell_prefix + "init=" + names[t];
+    graph.cells.push_back(cell);
+    // run_training_cell: param_rng = Rng(options.seed).child(t).
+    graph.leaves.push_back(
+        make_leaf(StreamRole::kParam, cell, options.seed, {t}, false));
+  }
+  return graph;
+}
+
+}  // namespace
+
+const char* stream_role_name(StreamRole role) noexcept {
+  switch (role) {
+    case StreamRole::kStructure: return "structure";
+    case StreamRole::kParam: return "param";
+  }
+  return "param";
+}
+
+StreamGraph variance_stream_graph(const VarianceExperimentOptions& options,
+                                  const std::string& label) {
+  StreamGraph graph;
+  graph.label = label;
+  graph.fingerprint = options_fingerprint(options);
+  graph.root_seed = options.seed;
+  graph.engine_ladder = {options.gradient_engine, "parameter-shift"};
+  const std::vector<std::string> names = paper_init_names();
+  for (std::size_t qi = 0; qi < options.qubit_counts.size(); ++qi) {
+    const std::string q = std::to_string(options.qubit_counts[qi]);
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      graph.cells.push_back("q=" + q + "/init=" + names[t]);
+    }
+    // compute_variance_cell: q_stream = root.child(qi); per sampled
+    // circuit i, circuit_stream = q_stream.child(2i); the structure
+    // stream circuit_stream.child(0) is shared across initializers by
+    // design (every strategy sees the same circuits); the parameter
+    // stream is circuit_stream.child(1 + t).
+    for (std::size_t i = 0; i < options.circuits_per_point; ++i) {
+      graph.leaves.push_back(make_leaf(StreamRole::kStructure,
+                                       "q=" + q + "/init=*", options.seed,
+                                       {qi, 2 * i, 0}, true));
+      for (std::size_t t = 0; t < names.size(); ++t) {
+        graph.leaves.push_back(make_leaf(StreamRole::kParam,
+                                         "q=" + q + "/init=" + names[t],
+                                         options.seed, {qi, 2 * i, 1 + t},
+                                         false));
+      }
+    }
+  }
+  return graph;
+}
+
+StreamGraph training_stream_graph(const TrainingExperimentOptions& options,
+                                  const std::string& label) {
+  return training_graph_with_prefix(options, label, "");
+}
+
+std::vector<StreamGraph> sweep_stream_graphs(
+    const TrainingSweepOptions& options) {
+  std::vector<StreamGraph> graphs;
+  graphs.reserve(options.repetitions);
+  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+    // run_training_sweep: rep_options.seed = splitmix64(base.seed ^ (rep+1)).
+    TrainingExperimentOptions rep_options = options.base;
+    rep_options.seed = splitmix64(options.base.seed ^ (rep + 1));
+    const std::string rep_label = "rep=" + std::to_string(rep);
+    graphs.push_back(training_graph_with_prefix(rep_options, rep_label,
+                                                rep_label + "/"));
+  }
+  return graphs;
+}
+
+Diagnostics audit_stream_graph(const StreamGraph& graph,
+                               const LintOptions& options) {
+  Diagnostics out;
+  {
+    // QD100: every leaf seed must be unique — each leaf is one distinct
+    // derivation path, and the structure streams' intentional sharing is
+    // already folded into a single wildcard leaf per sampled circuit.
+    RuleSink qd100(out, options, Severity::kError, "QD100");
+    std::map<std::uint64_t, const StreamLeaf*> first;
+    for (const StreamLeaf& leaf : graph.leaves) {
+      const auto [it, inserted] = first.emplace(leaf.seed, &leaf);
+      if (inserted) continue;
+      const StreamLeaf& other = *it->second;
+      qd100.add("stream collision: " +
+                    std::string(stream_role_name(other.role)) + " stream of " +
+                    other.cell + " (" + path_string(other.path) + ") and " +
+                    stream_role_name(leaf.role) + " stream of " + leaf.cell +
+                    " (" + path_string(leaf.path) +
+                    ") derive the same seed — their \"independent\" samples "
+                    "would be identical draws",
+                "run " + graph.label);
+    }
+  }
+  {
+    // QD103 (key coverage): a cell key appearing twice in one enumeration
+    // means the key omits a result-affecting input (e.g. duplicated
+    // qubit_counts entries: distinct RNG streams, one checkpoint/cache
+    // key) — resume or cache restore would serve one cell's results as
+    // the other's.
+    RuleSink qd103(out, options, Severity::kError, "QD103");
+    std::map<std::string, std::size_t> seen;
+    for (std::size_t c = 0; c < graph.cells.size(); ++c) {
+      const auto [it, inserted] = seen.emplace(graph.cells[c], c);
+      if (inserted) continue;
+      qd103.add("cell key '" + graph.cells[c] +
+                    "' enumerated twice (cells " + std::to_string(it->second) +
+                    " and " + std::to_string(c) +
+                    "): the key does not cover every result-affecting input, "
+                    "so checkpoint resume / cache restore would alias two "
+                    "distinct cells",
+                "run " + graph.label);
+    }
+  }
+  return out;
+}
+
+Diagnostics audit_stream_graphs(const std::vector<StreamGraph>& graphs,
+                                const LintOptions& options) {
+  Diagnostics out;
+  for (const StreamGraph& graph : graphs) {
+    Diagnostics per = audit_stream_graph(graph, options);
+    out.insert(out.end(), std::make_move_iterator(per.begin()),
+               std::make_move_iterator(per.end()));
+  }
+  // QD101: runs presented as independent must not share root seeds.
+  // Identical fingerprints are the degenerate case — byte-identical
+  // computations counted as separate evidence; distinct fingerprints
+  // sharing a root stream still correlate every draw the runs have in
+  // common.
+  RuleSink qd101(out, options, Severity::kError, "QD101");
+  std::map<std::uint64_t, std::vector<const StreamGraph*>> by_root;
+  for (const StreamGraph& graph : graphs) {
+    by_root[graph.root_seed].push_back(&graph);
+  }
+  for (const auto& [root, group] : by_root) {
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        const bool identical = group[a]->fingerprint == group[b]->fingerprint;
+        qd101.add(
+            identical ? Severity::kError : Severity::kWarning,
+            "seed aliasing across runs: '" + group[a]->label + "' and '" +
+                group[b]->label + "' share root seed " + std::to_string(root) +
+                (identical
+                     ? " with identical fingerprints — they are the same "
+                       "computation presented as independent repetitions"
+                     : " under different fingerprints — their overlapping "
+                       "derivations are correlated draws, not independent "
+                       "estimates"),
+            "runs " + group[a]->label + ", " + group[b]->label);
+      }
+    }
+  }
+  return out;
+}
+
+// --- fingerprint soundness probes ----------------------------------------
+
+std::vector<VariancePerturbation> variance_perturbations(
+    const VarianceExperimentOptions& base) {
+  std::vector<VariancePerturbation> out;
+  const auto add = [&](const char* field, bool affecting,
+                       auto&& mutate) {
+    VariancePerturbation p;
+    p.field = field;
+    p.result_affecting = affecting;
+    p.options = base;
+    mutate(p.options);
+    out.push_back(std::move(p));
+  };
+  add("qubit_counts", true, [](VarianceExperimentOptions& o) {
+    o.qubit_counts.push_back(o.qubit_counts.empty()
+                                 ? 2
+                                 : o.qubit_counts.back() + 1);
+  });
+  add("circuits_per_point", true,
+      [](VarianceExperimentOptions& o) { ++o.circuits_per_point; });
+  add("layers", true, [](VarianceExperimentOptions& o) { ++o.layers; });
+  add("cost", true, [](VarianceExperimentOptions& o) {
+    o.cost = o.cost == CostKind::kGlobalZero ? CostKind::kLocalZero
+                                             : CostKind::kGlobalZero;
+  });
+  add("seed", true, [](VarianceExperimentOptions& o) { ++o.seed; });
+  add("entangle", true,
+      [](VarianceExperimentOptions& o) { o.entangle = !o.entangle; });
+  add("gradient_engine", true, [](VarianceExperimentOptions& o) {
+    o.gradient_engine =
+        o.gradient_engine == "adjoint" ? "parameter-shift" : "adjoint";
+  });
+  add("which_parameter", true, [](VarianceExperimentOptions& o) {
+    o.which_parameter = o.which_parameter == GradientParameter::kFirst
+                            ? GradientParameter::kLast
+                            : GradientParameter::kFirst;
+  });
+  add("entangler", true, [](VarianceExperimentOptions& o) {
+    o.entangler = o.entangler == EntanglerGate::kCz ? EntanglerGate::kCnot
+                                                    : EntanglerGate::kCz;
+  });
+  add("topology", true, [](VarianceExperimentOptions& o) {
+    o.topology = o.topology == EntanglerTopology::kLinear
+                     ? EntanglerTopology::kRing
+                     : EntanglerTopology::kLinear;
+  });
+  // keep_samples selects what the result retains, not what is sampled;
+  // the fingerprint deliberately excludes it so checkpoints stay valid
+  // across the flag.
+  add("keep_samples", false,
+      [](VarianceExperimentOptions& o) { o.keep_samples = !o.keep_samples; });
+  return out;
+}
+
+std::vector<TrainingPerturbation> training_perturbations(
+    const TrainingExperimentOptions& base) {
+  std::vector<TrainingPerturbation> out;
+  const auto add = [&](const char* field, bool affecting, auto&& mutate) {
+    TrainingPerturbation p;
+    p.field = field;
+    p.result_affecting = affecting;
+    p.options = base;
+    mutate(p.options);
+    out.push_back(std::move(p));
+  };
+  add("qubits", true, [](TrainingExperimentOptions& o) { ++o.qubits; });
+  add("layers", true, [](TrainingExperimentOptions& o) { ++o.layers; });
+  add("iterations", true,
+      [](TrainingExperimentOptions& o) { ++o.iterations; });
+  add("learning_rate", true,
+      [](TrainingExperimentOptions& o) { o.learning_rate += 0.125; });
+  add("optimizer", true, [](TrainingExperimentOptions& o) {
+    o.optimizer = o.optimizer == "adam" ? "gradient-descent" : "adam";
+  });
+  add("gradient_engine", true, [](TrainingExperimentOptions& o) {
+    o.gradient_engine =
+        o.gradient_engine == "adjoint" ? "parameter-shift" : "adjoint";
+  });
+  add("cost", true, [](TrainingExperimentOptions& o) {
+    o.cost = o.cost == CostKind::kGlobalZero ? CostKind::kLocalZero
+                                             : CostKind::kGlobalZero;
+  });
+  add("seed", true, [](TrainingExperimentOptions& o) { ++o.seed; });
+  add("non_finite_policy", true, [](TrainingExperimentOptions& o) {
+    o.non_finite_policy = o.non_finite_policy == NonFinitePolicy::kThrow
+                              ? NonFinitePolicy::kAbortSeries
+                              : NonFinitePolicy::kThrow;
+  });
+  // The deadline bounds wall-clock, not results: an undisturbed run under
+  // any deadline computes the same series, so the fingerprint excludes it.
+  add("deadline_seconds", false, [](TrainingExperimentOptions& o) {
+    o.deadline_seconds = 123.0;
+  });
+  return out;
+}
+
+Diagnostics audit_fingerprint_probes(
+    const std::vector<FingerprintProbe>& probes, const std::string& label,
+    const LintOptions& options) {
+  Diagnostics out;
+  RuleSink qd102(out, options, Severity::kError, "QD102");
+  RuleSink qd103(out, options, Severity::kError, "QD103");
+  for (const FingerprintProbe& probe : probes) {
+    const bool moved = probe.perturbed != probe.base;
+    if (probe.expect_move && !moved) {
+      qd102.add("fingerprint is blind to result-affecting option '" +
+                    probe.field +
+                    "': two runs differing only in it share checkpoint/"
+                    "cache namespaces, so one run's cells restore as the "
+                    "other's",
+                label + " option " + probe.field);
+    }
+    if (!probe.expect_move && moved) {
+      qd102.add(Severity::kWarning,
+                "non-result-affecting option '" + probe.field +
+                    "' moves the fingerprint: checkpoints and cache entries "
+                    "are needlessly invalidated across a cosmetic flag",
+                label + " option " + probe.field);
+    }
+    // Wire coverage (serve only): what the worker sees must carry every
+    // field the cache key distinguishes, and vice versa.
+    if (!probe.expect_move || probe.wire_base.empty()) continue;
+    if (moved && probe.wire_perturbed == probe.wire_base) {
+      qd103.add("worker-visible options do not carry '" + probe.field +
+                    "': workers would compute with the default value while "
+                    "the cache files the results under the perturbed "
+                    "fingerprint — a poisoned namespace",
+                label + " option " + probe.field);
+    } else if (!probe.wire_roundtrip.empty() &&
+               probe.wire_roundtrip != probe.perturbed) {
+      qd103.add("worker-visible options encoding drops or garbles '" +
+                    probe.field +
+                    "': re-decoding the wire form yields fingerprint " +
+                    probe.wire_roundtrip + " instead of " + probe.perturbed,
+                label + " option " + probe.field);
+    }
+    if (!moved && probe.wire_perturbed != probe.wire_base) {
+      qd103.add("cache key does not cover '" + probe.field +
+                    "': two requests computing different cells share the "
+                    "fingerprint|cell namespace — cache poisoning",
+                label + " option " + probe.field);
+    }
+  }
+  return out;
+}
+
+std::vector<FingerprintProbe> variance_fingerprint_probes(
+    const VarianceExperimentOptions& options) {
+  const std::string base = options_fingerprint(options);
+  std::vector<FingerprintProbe> probes;
+  for (const VariancePerturbation& p : variance_perturbations(options)) {
+    FingerprintProbe probe;
+    probe.field = p.field;
+    probe.expect_move = p.result_affecting;
+    probe.base = base;
+    probe.perturbed = options_fingerprint(p.options);
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+std::vector<FingerprintProbe> training_fingerprint_probes(
+    const TrainingExperimentOptions& options) {
+  const std::string base = options_fingerprint(options);
+  std::vector<FingerprintProbe> probes;
+  for (const TrainingPerturbation& p : training_perturbations(options)) {
+    FingerprintProbe probe;
+    probe.field = p.field;
+    probe.expect_move = p.result_affecting;
+    probe.base = base;
+    probe.perturbed = options_fingerprint(p.options);
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+std::vector<FingerprintProbe> sweep_fingerprint_probes(
+    const TrainingSweepOptions& options) {
+  const std::string base = options_fingerprint(options);
+  std::vector<FingerprintProbe> probes;
+  for (const TrainingPerturbation& p : training_perturbations(options.base)) {
+    TrainingSweepOptions perturbed = options;
+    perturbed.base = p.options;
+    FingerprintProbe probe;
+    probe.field = "base." + p.field;
+    probe.expect_move = p.result_affecting;
+    probe.base = base;
+    probe.perturbed = options_fingerprint(perturbed);
+    probes.push_back(std::move(probe));
+  }
+  {
+    TrainingSweepOptions perturbed = options;
+    ++perturbed.repetitions;
+    FingerprintProbe probe;
+    probe.field = "repetitions";
+    probe.base = base;
+    probe.perturbed = options_fingerprint(perturbed);
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+// --- one-stop audits ------------------------------------------------------
+
+namespace {
+
+void append(Diagnostics& out, Diagnostics more) {
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+}
+
+}  // namespace
+
+Diagnostics audit_variance_options(const VarianceExperimentOptions& options,
+                                   const LintOptions& lint) {
+  Diagnostics out = audit_stream_graph(variance_stream_graph(options), lint);
+  append(out, audit_fingerprint_probes(variance_fingerprint_probes(options),
+                                       "variance", lint));
+  return out;
+}
+
+Diagnostics audit_training_options(const TrainingExperimentOptions& options,
+                                   const LintOptions& lint) {
+  Diagnostics out = audit_stream_graph(training_stream_graph(options), lint);
+  append(out, audit_fingerprint_probes(training_fingerprint_probes(options),
+                                       "training", lint));
+  return out;
+}
+
+Diagnostics audit_sweep_options(const TrainingSweepOptions& options,
+                                const LintOptions& lint) {
+  Diagnostics out = audit_stream_graphs(sweep_stream_graphs(options), lint);
+  append(out, audit_fingerprint_probes(sweep_fingerprint_probes(options),
+                                       "sweep", lint));
+  return out;
+}
+
+// --- rule registry --------------------------------------------------------
+
+const std::vector<LintRuleInfo>& determinism_rules() {
+  static const std::vector<LintRuleInfo> rules = {
+      {"QD100", Severity::kError,
+       "stream collision: two cells derive the same (seed, child-index "
+       "path), so their \"independent\" samples are identical draws",
+       "Kashif & Shafique 2024; PR 2 per-cell child streams"},
+      {"QD101", Severity::kError,
+       "cross-run seed aliasing: runs presented as independent repetitions "
+       "share a root seed (identical fingerprints = error, correlated "
+       "overlap = warning)",
+       "generalizes QB007 across runs/requests"},
+      {"QD102", Severity::kError,
+       "fingerprint insensitivity: a result-affecting option field does "
+       "not move the canonical fingerprint (stale checkpoints restore as "
+       "fresh); cosmetic fields moving it is the warning dual",
+       "checkpoint.hpp staleness key; PR 1"},
+      {"QD103", Severity::kError,
+       "cache-key coverage: the fingerprint|cell key fails to cover a "
+       "result-affecting input (duplicate cell keys, or worker-visible "
+       "options dropping a fingerprinted field)",
+       "serve result cache; PR 7"},
+      {"QD110", Severity::kError,
+       "store is not a readable qbarren checkpoint (missing file, foreign "
+       "magic, unreadable header)",
+       "checkpoint format v1"},
+      {"QD111", Severity::kError,
+       "store format version skew: written by an incompatible build",
+       "Checkpoint::kFormatVersion"},
+      {"QD112", Severity::kError,
+       "torn or malformed record: truncated cell framing, bad payload "
+       "line, wrong or missing end marker, trailing bytes",
+       "open_salvaging quarantine conditions"},
+      {"QD113", Severity::kError,
+       "duplicate cell record: a later record silently shadows an earlier "
+       "one under strict loading",
+       "Checkpoint::load last-wins semantics"},
+      {"QD114", Severity::kError,
+       "foreign fingerprint: the store was written under different options "
+       "than the audited spec",
+       "checkpoint staleness rejection; PR 1"},
+      {"QD115", Severity::kWarning,
+       "orphan cell: a record outside the spec's cell enumeration — "
+       "unreachable by the run that owns the store",
+       "enumerate_cells / run_paper_set keys"},
+  };
+  return rules;
+}
+
+Table determinism_rule_table() {
+  Table table({"code", "severity", "predicts", "source"});
+  for (const LintRuleInfo& rule : determinism_rules()) {
+    table.add_row({rule.code, severity_name(rule.severity), rule.summary,
+                   rule.reference});
+  }
+  return table;
+}
+
+}  // namespace qbarren

@@ -134,6 +134,50 @@ class Checkpoint {
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
 };
 
+/// One structural problem found by scan_checkpoint_file, anchored to a
+/// 1-based line number (0 = the file as a whole).
+struct CheckpointScanIssue {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Lenient structural read of a checkpoint/result-cache file — the
+/// introspection hook behind `qbarren fsck` (analysis/store_audit.hpp).
+/// Where the strict loader throws on the first problem and open_salvaging
+/// silently quarantines, the scanner parses the whole file with the same
+/// grammar (header, fingerprint line, cell/endcell framing, hexfloat
+/// payload lines, end marker) and records *every* structural problem with
+/// its line number, plus the record layout in file order (duplicates
+/// preserved — the strict loader's map would silently shadow them).
+struct CheckpointScan {
+  /// One `cell <key>` record, in file order.
+  struct Record {
+    std::string key;
+    std::size_t line = 0;   ///< 1-based line of the "cell" tag
+    bool complete = false;  ///< endcell reached with every payload line intact
+  };
+
+  bool exists = false;          ///< file could be opened
+  bool header_ok = false;       ///< first line is "qbarren-checkpoint <v>"
+  int version = -1;             ///< parsed format version (-1 = unparsed)
+  bool version_ok = false;      ///< version == kFormatVersion
+  bool has_fingerprint = false; ///< second line is "fingerprint <fp>"
+  std::string fingerprint;      ///< stored fingerprint (when present)
+  std::vector<Record> records;  ///< every cell record, duplicates included
+  bool saw_end = false;         ///< "end <n>" marker reached
+  std::size_t declared_cells = 0;  ///< <n> from the end marker
+  std::vector<CheckpointScanIssue> issues;
+
+  /// True exactly when Checkpoint::load would accept the file given the
+  /// stored fingerprint: structure intact, version current, every record
+  /// complete, end count consistent with the distinct keys.
+  [[nodiscard]] bool structurally_clean() const;
+};
+
+/// Scans the file at `path`. Never throws on file content; a missing file
+/// yields exists = false and one issue.
+[[nodiscard]] CheckpointScan scan_checkpoint_file(const std::string& path);
+
 /// Serializes one cell's payload as the checkpoint format's body lines
 /// ("scalar <name> <hex>\n" / "vector <name> <n> <hex...>\n", no
 /// cell/endcell framing). Doubles are hexfloats, so parse_cell_payload

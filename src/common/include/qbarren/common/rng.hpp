@@ -18,6 +18,15 @@ namespace qbarren {
 /// value. Used both to expand user seeds and to derive child streams.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
 
+/// The seed `Rng(parent_seed).child(stream_index)` is constructed from —
+/// the child-stream derivation as a pure function. The static determinism
+/// auditor (analysis/stream_graph.hpp) walks entire experiments' derivation
+/// trees through this without instantiating a single generator; Rng::child
+/// calls it, so the two can never drift.
+[[nodiscard]] std::uint64_t derive_child_seed(std::uint64_t parent_seed,
+                                              std::uint64_t stream_index)
+    noexcept;
+
 /// Seeded random source wrapping std::mt19937_64 with the convenience
 /// distributions used across the library.
 class Rng {

@@ -82,9 +82,6 @@ class ScopedSignalCancellation {
   ScopedSignalCancellation(const ScopedSignalCancellation&) = delete;
   ScopedSignalCancellation& operator=(const ScopedSignalCancellation&) = delete;
 
- private:
-  void (*old_int_)(int) = nullptr;
-  void (*old_term_)(int) = nullptr;
 };
 
 /// One completed experiment cell, reported through RunControl::progress.

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "qbarren/common/run.hpp"
@@ -356,6 +357,157 @@ void Checkpoint::flush() const {
   if (path_.empty()) return;
   std::lock_guard<std::mutex> lock(*mutex_);
   write_file_atomic(path_, serialize_locked());
+}
+
+bool CheckpointScan::structurally_clean() const {
+  if (!exists || !header_ok || !version_ok || !has_fingerprint ||
+      !saw_end || !issues.empty()) {
+    return false;
+  }
+  for (const Record& record : records) {
+    if (!record.complete) return false;
+  }
+  return true;
+}
+
+CheckpointScan scan_checkpoint_file(const std::string& path) {
+  CheckpointScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    scan.issues.push_back({0, "cannot open file"});
+    return scan;
+  }
+  scan.exists = true;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream stream(buffer.str());
+
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(stream, line)) {
+    scan.issues.push_back({0, "empty file"});
+    return scan;
+  }
+  ++line_no;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = -1;
+    if (!(header >> magic >> version) || magic != "qbarren-checkpoint") {
+      scan.issues.push_back({line_no, "not a qbarren checkpoint"});
+      return scan;  // nothing past a foreign header is trustworthy
+    }
+    scan.header_ok = true;
+    scan.version = version;
+    scan.version_ok = version == Checkpoint::kFormatVersion;
+    if (!scan.version_ok) {
+      scan.issues.push_back(
+          {line_no, "format version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(Checkpoint::kFormatVersion) + ")"});
+    }
+  }
+  if (!std::getline(stream, line)) {
+    scan.issues.push_back({line_no, "missing fingerprint line"});
+    return scan;
+  }
+  ++line_no;
+  if (line.rfind("fingerprint ", 0) != 0) {
+    scan.issues.push_back({line_no, "missing fingerprint line"});
+    return scan;
+  }
+  scan.has_fingerprint = true;
+  scan.fingerprint = line.substr(std::string("fingerprint ").size());
+
+  // Body: the strict loader's grammar, but every violation is recorded
+  // with its line number and the walk continues — fsck reports all the
+  // damage in one pass instead of the first byte of it.
+  bool in_cell = false;
+  bool damaged = false;  // current record had a bad payload/unknown line
+  std::set<std::string> complete_keys;
+  const auto close_record = [&](bool complete) {
+    if (!scan.records.empty()) {
+      scan.records.back().complete = complete && !damaged;
+      if (scan.records.back().complete) {
+        complete_keys.insert(scan.records.back().key);
+      }
+    }
+    in_cell = false;
+    damaged = false;
+  };
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (scan.saw_end) {
+      scan.issues.push_back({line_no, "trailing data after end marker"});
+      break;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "cell") {
+      if (in_cell) {
+        scan.issues.push_back({line_no, "cell without endcell"});
+        close_record(false);
+      }
+      std::string rest;
+      std::getline(fields, rest);
+      if (rest.size() < 2 || rest[0] != ' ') {
+        scan.issues.push_back({line_no, "bad cell line"});
+        continue;
+      }
+      scan.records.push_back({rest.substr(1), line_no, false});
+      in_cell = true;
+      damaged = false;
+    } else if (tag == "scalar" || tag == "vector") {
+      if (!in_cell) {
+        scan.issues.push_back({line_no, tag + " outside cell"});
+        continue;
+      }
+      try {
+        CheckpointCell sink;
+        parse_payload_line(tag, fields, path, sink);
+      } catch (const CheckpointError& error) {
+        scan.issues.push_back({line_no, error.what()});
+        damaged = true;
+      }
+    } else if (tag == "endcell") {
+      if (!in_cell) {
+        scan.issues.push_back({line_no, "endcell outside cell"});
+        continue;
+      }
+      close_record(true);
+    } else if (tag == "end") {
+      if (in_cell) {
+        scan.issues.push_back({line_no, "end marker inside cell"});
+        close_record(false);
+      }
+      std::size_t count = 0;
+      if (!(fields >> count)) {
+        scan.issues.push_back({line_no, "bad end marker"});
+      } else {
+        scan.declared_cells = count;
+        if (count != complete_keys.size()) {
+          scan.issues.push_back(
+              {line_no, "cell count mismatch (truncated file?): declares " +
+                            std::to_string(count) + ", file holds " +
+                            std::to_string(complete_keys.size())});
+        }
+      }
+      scan.saw_end = true;
+    } else {
+      scan.issues.push_back({line_no, "unknown line tag '" + tag + "'"});
+      if (in_cell) damaged = true;
+    }
+  }
+  if (in_cell) {
+    scan.issues.push_back({line_no, "cell without endcell at EOF"});
+    close_record(false);
+  }
+  if (!scan.saw_end) {
+    scan.issues.push_back({line_no, "missing end marker (truncated file?)"});
+  }
+  return scan;
 }
 
 std::string serialize_cell_payload(const CheckpointCell& cell) {

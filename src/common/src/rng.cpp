@@ -13,12 +13,17 @@ std::uint64_t splitmix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+std::uint64_t derive_child_seed(std::uint64_t parent_seed,
+                                std::uint64_t stream_index) noexcept {
+  // Mix the parent seed with the stream index through two splitmix rounds;
+  // a single round would make child(0) of seed s collide with Rng(s).
+  return splitmix64(splitmix64(parent_seed) ^ (stream_index + 1));
+}
+
 Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
 
 Rng Rng::child(std::uint64_t stream_index) const {
-  // Mix the parent seed with the stream index through two splitmix rounds;
-  // a single round would make child(0) of seed s collide with Rng(s).
-  return Rng(splitmix64(splitmix64(seed_) ^ (stream_index + 1)));
+  return Rng(derive_child_seed(seed_, stream_index));
 }
 
 double Rng::uniform(double lo, double hi) {

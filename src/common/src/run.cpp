@@ -7,11 +7,12 @@
 #include <fstream>
 #else
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <string>
+#include <system_error>
 #endif
 
 namespace qbarren {
@@ -21,8 +22,10 @@ namespace {
 #if !defined(_WIN32)
 [[noreturn]] void throw_io_error(const std::string& what,
                                  const std::string& path) {
+  // std::error_code::message is thread-safe, unlike std::strerror
+  // (concurrency-mt-unsafe): checkpoint writers call this off-main-thread.
   throw Error("write_file_atomic: " + what + " for " + path + ": " +
-              std::strerror(errno));
+              std::error_code(errno, std::generic_category()).message());
 }
 #endif
 
@@ -108,26 +111,52 @@ void forward_signal_to_token(int /*signum*/) {
   }
 }
 
+// Previous dispositions, restored on destruction. File-scope is safe:
+// the compare-exchange on g_signal_token enforces a single live
+// instance, so these are written only while no other instance exists.
+#if !defined(_WIN32)
+struct sigaction g_old_int {};
+struct sigaction g_old_term {};
+#else
+void (*g_old_int)(int) = nullptr;
+void (*g_old_term)(int) = nullptr;
+#endif
+
 }  // namespace
 
-// Main-thread-only by contract (see the header): std::signal changes the
-// process-wide disposition, so installation must happen before worker
-// threads start and restoration after they join. The compare-exchange on
-// g_signal_token enforces single-instance, and the handler + worker polls
-// touch only lock-free atomics, so no data race is possible once workers
-// are running.
+// Main-thread-only by contract (see the header): installation changes the
+// process-wide disposition, so it must happen before worker threads start
+// and restoration after they join. The compare-exchange on g_signal_token
+// enforces single-instance, and the handler + worker polls touch only
+// lock-free atomics, so no data race is possible once workers are
+// running. POSIX builds use sigaction rather than std::signal — the
+// latter's behaviour in multithreaded processes is implementation-defined
+// (concurrency-mt-unsafe) and it cannot restore sa_mask/sa_flags.
 ScopedSignalCancellation::ScopedSignalCancellation(CancellationToken& token) {
   CancellationToken* expected = nullptr;
   QBARREN_REQUIRE(
       g_signal_token.compare_exchange_strong(expected, &token),
       "ScopedSignalCancellation: another instance is already active");
-  old_int_ = std::signal(SIGINT, &forward_signal_to_token);
-  old_term_ = std::signal(SIGTERM, &forward_signal_to_token);
+#if !defined(_WIN32)
+  struct sigaction forward {};
+  forward.sa_handler = &forward_signal_to_token;
+  sigemptyset(&forward.sa_mask);
+  (void)::sigaction(SIGINT, &forward, &g_old_int);
+  (void)::sigaction(SIGTERM, &forward, &g_old_term);
+#else
+  g_old_int = std::signal(SIGINT, &forward_signal_to_token);
+  g_old_term = std::signal(SIGTERM, &forward_signal_to_token);
+#endif
 }
 
 ScopedSignalCancellation::~ScopedSignalCancellation() {
-  std::signal(SIGINT, old_int_ == SIG_ERR ? SIG_DFL : old_int_);
-  std::signal(SIGTERM, old_term_ == SIG_ERR ? SIG_DFL : old_term_);
+#if !defined(_WIN32)
+  (void)::sigaction(SIGINT, &g_old_int, nullptr);
+  (void)::sigaction(SIGTERM, &g_old_term, nullptr);
+#else
+  std::signal(SIGINT, g_old_int == SIG_ERR ? SIG_DFL : g_old_int);
+  std::signal(SIGTERM, g_old_term == SIG_ERR ? SIG_DFL : g_old_term);
+#endif
   g_signal_token.store(nullptr, std::memory_order_relaxed);
 }
 

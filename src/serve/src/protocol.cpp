@@ -91,6 +91,36 @@ NonFinitePolicy non_finite_policy_from_name(const std::string& name) {
   throw NotFound("request: unknown non_finite_policy '" + name + "'");
 }
 
+const char* entangler_gate_name(EntanglerGate gate) noexcept {
+  switch (gate) {
+    case EntanglerGate::kCz: return "cz";
+    case EntanglerGate::kCnot: return "cnot";
+  }
+  return "cz";
+}
+
+EntanglerGate entangler_gate_from_name(const std::string& name) {
+  if (name == "cz") return EntanglerGate::kCz;
+  if (name == "cnot") return EntanglerGate::kCnot;
+  throw NotFound("request: unknown entangler '" + name + "'");
+}
+
+const char* entangler_topology_name(EntanglerTopology topology) noexcept {
+  switch (topology) {
+    case EntanglerTopology::kLinear: return "linear";
+    case EntanglerTopology::kRing: return "ring";
+    case EntanglerTopology::kAllToAll: return "all-to-all";
+  }
+  return "linear";
+}
+
+EntanglerTopology entangler_topology_from_name(const std::string& name) {
+  if (name == "linear") return EntanglerTopology::kLinear;
+  if (name == "ring") return EntanglerTopology::kRing;
+  if (name == "all-to-all") return EntanglerTopology::kAllToAll;
+  throw NotFound("request: unknown topology '" + name + "'");
+}
+
 }  // namespace
 
 const char* spec_kind_name(SpecKind kind) noexcept {
@@ -122,6 +152,12 @@ JsonValue variance_options_to_json(const VarianceExperimentOptions& options) {
   out.set("gradient_engine", options.gradient_engine);
   out.set("which_parameter",
           gradient_parameter_name(options.which_parameter));
+  // entangler/topology are part of the options fingerprint, so they MUST
+  // cross the wire: a worker blind to them would compute under the default
+  // gate/topology while the cache files the result under the perturbed
+  // fingerprint (the QD103 poisoning scenario qbarren audit checks for).
+  out.set("entangler", entangler_gate_name(options.entangler));
+  out.set("topology", entangler_topology_name(options.topology));
   out.set("keep_samples", options.keep_samples);
   return out;
 }
@@ -129,8 +165,8 @@ JsonValue variance_options_to_json(const VarianceExperimentOptions& options) {
 VarianceExperimentOptions variance_options_from_json(const JsonValue& value) {
   check_keys(value,
              {"qubit_counts", "circuits_per_point", "layers", "cost", "seed",
-              "entangle", "gradient_engine", "which_parameter",
-              "keep_samples"},
+              "entangle", "gradient_engine", "which_parameter", "entangler",
+              "topology", "keep_samples"},
              "variance options");
   VarianceExperimentOptions options;
   if (value.contains("qubit_counts")) {
@@ -156,6 +192,10 @@ VarianceExperimentOptions variance_options_from_json(const JsonValue& value) {
   options.which_parameter = gradient_parameter_from_name(get_string(
       value, "which_parameter",
       gradient_parameter_name(options.which_parameter)));
+  options.entangler = entangler_gate_from_name(
+      get_string(value, "entangler", entangler_gate_name(options.entangler)));
+  options.topology = entangler_topology_from_name(get_string(
+      value, "topology", entangler_topology_name(options.topology)));
   options.keep_samples = get_bool(value, "keep_samples", options.keep_samples);
   return options;
 }

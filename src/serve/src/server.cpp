@@ -76,7 +76,11 @@ int SocketServer::run() {
   }
   // A client that disconnects mid-stream must not kill the server with
   // SIGPIPE; writes to its socket just start failing (write_all ignores).
-  (void)::signal(SIGPIPE, SIG_IGN);
+  // sigaction, not signal(): the server shares the process with the pool's
+  // reader threads (concurrency-mt-unsafe).
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  (void)::sigaction(SIGPIPE, &ignore_pipe, nullptr);
   sockaddr_un address{};
   address.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(address.sun_path)) {

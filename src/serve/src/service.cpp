@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "qbarren/analysis/admission.hpp"
+#include "qbarren/serve/audit.hpp"
 #include "qbarren/bp/serialize.hpp"
 #include "qbarren/common/error.hpp"
 #include "qbarren/common/exit_codes.hpp"
@@ -224,7 +225,11 @@ struct ExperimentService::Impl {
     if (pool_started) return;
     // Workers write reply lines to a pipe the service may have closed
     // (shutdown races); die-on-SIGPIPE would take the whole service down.
-    ::signal(SIGPIPE, SIG_IGN);
+    // sigaction, not signal(): the pool runs multithreaded and signal()'s
+    // semantics are not thread-safe everywhere (concurrency-mt-unsafe).
+    struct sigaction ignore_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    (void)::sigaction(SIGPIPE, &ignore_pipe, nullptr);
     resolve_worker_argv();
     slots.resize(std::max<std::size_t>(options.workers, 1));
     for (std::size_t i = 0; i < slots.size(); ++i) spawn(i);
@@ -341,9 +346,20 @@ RequestOutcome ExperimentService::run_request(const RequestSpec& spec,
   RequestOutcome outcome;
 
   // --- 1. admission -------------------------------------------------------
-  const AdmissionDecision admission =
+  AdmissionDecision admission =
       spec.kind == SpecKind::kVariance ? admission_check(spec.variance)
                                        : admission_check(spec.training);
+  {
+    // Physical feasibility (QB/QP, above) and static determinism (QD) gate
+    // together: a request whose stream graph collides or whose wire
+    // encoding drops a fingerprinted field would poison the shared result
+    // cache, which is strictly worse than wasting one worker pool.
+    Diagnostics determinism = audit_request(spec);
+    if (has_errors(determinism)) admission.admitted = false;
+    admission.findings.insert(admission.findings.end(),
+                              std::make_move_iterator(determinism.begin()),
+                              std::make_move_iterator(determinism.end()));
+  }
   if (!admission.admitted) {
     outcome.status = RequestOutcome::Status::kRejected;
     outcome.exit_code = kExitAdmissionRejected;
