@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "qbarren/analysis/plan_verify.hpp"
 #include "qbarren/circuit/ansatz.hpp"
+#include "qbarren/exec/batched.hpp"
 #include "qbarren/exec/compiled_circuit.hpp"
 #include "qbarren/grad/engine.hpp"
 #include "qbarren/obs/observable.hpp"
@@ -174,6 +175,78 @@ void bm_compiled_parameter_shift_last_param(benchmark::State& state) {
                  "interpreted");
 }
 BENCHMARK(bm_compiled_parameter_shift_last_param)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// --- batched vs serial parameter-shift ---------------------------------------
+//
+// The batched dispatcher evaluates all 2P shifted bindings of a full
+// parameter-shift gradient in one monotonic walk of the kernel-op stream
+// (chunked to the batch limit), instead of a fresh prefix simulation per
+// parameter. This bench sweeps the batch width B and reports serial and
+// batched wall-clock, the speedup, states-per-second throughput, and the
+// static cost model's prediction at batch=B. CI's bench-smoke step
+// uploads the counters.
+
+void bm_batched_parameter_shift(benchmark::State& state) {
+  const Setup setup(6, 40);  // deep HEA: q=6, L=40, P=480
+  const auto plan = exec::plan_for(setup.circuit);
+  const ParameterShiftEngine engine;
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  using Clock = std::chrono::steady_clock;
+  double serial_seconds = 0.0;
+  double batched_seconds = 0.0;
+  // Untimed warmup of both paths (cold caches, lazy statics).
+  benchmark::DoNotOptimize(
+      engine.gradient(setup.circuit, setup.observable, setup.params).data());
+  {
+    exec::ScopedBatchLimit limit(lanes);
+    benchmark::DoNotOptimize(
+        engine.gradient(setup.circuit, setup.observable, setup.params)
+            .data());
+  }
+  // Alternate serial and batched within each rep so machine-load drift
+  // hits both paths evenly instead of biasing whichever ran later.
+  constexpr int kReps = 5;
+  for (auto _ : state) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      benchmark::DoNotOptimize(
+          engine.gradient(setup.circuit, setup.observable, setup.params)
+              .data());
+      const auto t1 = Clock::now();
+      {
+        exec::ScopedBatchLimit limit(lanes);
+        benchmark::DoNotOptimize(
+            engine.gradient(setup.circuit, setup.observable, setup.params)
+                .data());
+      }
+      const auto t2 = Clock::now();
+      serial_seconds += std::chrono::duration<double>(t1 - t0).count();
+      batched_seconds += std::chrono::duration<double>(t2 - t1).count();
+    }
+  }
+  const double n = static_cast<double>(state.iterations()) * kReps;
+  const double shifted_bindings =
+      2.0 * static_cast<double>(setup.circuit.num_parameters());
+  state.counters["batch"] = static_cast<double>(lanes);
+  state.counters["serial_seconds"] = serial_seconds / n;
+  state.counters["batched_seconds"] = batched_seconds / n;
+  state.counters["batched_speedup"] =
+      batched_seconds > 0.0 ? serial_seconds / batched_seconds : 0.0;
+  // Shifted-binding simulations completed per second of batched execution.
+  state.counters["states_per_second"] =
+      batched_seconds > 0.0 ? shifted_bindings * n / batched_seconds : 0.0;
+  if (plan != nullptr) {
+    const PlanResourceEstimate estimate =
+        estimate_plan_resources(*plan, lanes);
+    state.counters["plan_flops"] = estimate.flops;
+    state.counters["plan_bytes"] = estimate.bytes;
+    state.counters["plan_shared_bytes"] = estimate.shared_bytes;
+  }
+  state.SetLabel("q=6 L=40 parameter-shift full gradient, batched vs serial");
+}
+BENCHMARK(bm_batched_parameter_shift)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 // --- plan verification overhead ---------------------------------------------

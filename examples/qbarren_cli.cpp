@@ -2,13 +2,15 @@
 //
 // Usage:
 //   qbarren_cli variance   [--qubits 2,4,6,8,10] [--circuits 200]
-//                          [--layers 50] [--seed 42] [--json out.json]
+//                          [--layers 50] [--seed 42] [--batch B|auto]
+//                          [--json out.json]
 //   qbarren_cli train      [--optimizer adam] [--qubits 10] [--layers 5]
 //                          [--iterations 50] [--deadline-sec 3600]
 //                          [--nonfinite throw|abort|fallback]
-//                          [--json out.json]
+//                          [--batch B|auto] [--json out.json]
 //   qbarren_cli sweep      [--repetitions 5] [--optimizer adam] ...
 //   qbarren_cli landscape  [--qubits 2,5,10] [--layers 100] [--grid 21]
+//                          [--batch B|auto]
 //   qbarren_cli express    [--qubits 4] [--layers 5] [--pairs 300]
 //   qbarren_cli lightcone  [--qubits 6] [--layers 10]
 //   qbarren_cli serve      --socket <path> [--workers 2] [--cache <file>]
@@ -47,7 +49,7 @@
 // pairs, light-cone widths, plan cost, ...) and exits 1 when any
 // error-severity finding fires. With --verify-plan it additionally lowers
 // the circuit to a compiled execution plan and statically verifies the
-// lowering (PlanVerifier, codes QP100-QP106). The experiment runners
+// lowering (PlanVerifier, codes QP100-QP107). The experiment runners
 // (variance / train / sweep) run the same analysis as a preflight:
 // --lint=warn (default) prints findings and launches, --lint=error
 // refuses to launch on error findings, --lint=off skips the check. With
@@ -106,6 +108,7 @@
 #include "qbarren/common/cli.hpp"
 #include "qbarren/common/executor.hpp"
 #include "qbarren/common/exit_codes.hpp"
+#include "qbarren/exec/batched.hpp"
 #include "qbarren/common/run.hpp"
 #include "qbarren/circuit/qasm_parser.hpp"
 #include "qbarren/common/version.hpp"
@@ -209,6 +212,72 @@ void report_plan_verification(
                guard->plans_verified(), guard->warnings());
 }
 
+/// Engine name with the fault/guard decorators peeled off ("guarded:",
+/// "nan-at:<k>:", "crash-at:<k>:", "hang-at:<k>:"), so --batch validation
+/// sees the engine that will actually run.
+std::string strip_engine_decorators(std::string name) {
+  bool stripped = true;
+  while (stripped) {
+    stripped = false;
+    const std::string guarded = "guarded:";
+    if (name.starts_with(guarded)) {
+      name = name.substr(guarded.size());
+      stripped = true;
+      continue;
+    }
+    for (const char* prefix : {"nan-at:", "crash-at:", "hang-at:"}) {
+      if (!name.starts_with(prefix)) continue;
+      const std::size_t colon = name.find(':', std::strlen(prefix));
+      if (colon == std::string::npos) return name;  // malformed; registry errors
+      name = name.substr(colon + 1);
+      stripped = true;
+      break;
+    }
+  }
+  return name;
+}
+
+/// Opt-in --batch=<B>|auto: scopes the process batch limit for the run.
+/// Batched execution is byte-identical to serial, so this only changes
+/// throughput. `engine_name` (empty when the subcommand has no gradient
+/// engine) gates the nonsensical combination: the adjoint engine computes
+/// the whole gradient in one forward/backward pass and has nothing to
+/// batch, so an explicit lane count with it is rejected; --batch=auto
+/// simply degrades to serial there.
+std::unique_ptr<exec::ScopedBatchLimit> scoped_batch_limit(
+    const CliArgs& args, const std::string& engine_name) {
+  if (!args.has("batch")) return nullptr;
+  const std::string text = args.get_string("batch", "");
+  std::size_t limit = exec::kBatchAuto;
+  if (text != "auto") {
+    std::size_t parsed = 0;
+    unsigned long long value = 0;
+    if (!text.empty() && text.find_first_not_of("0123456789") ==
+                             std::string::npos) {
+      try {
+        value = std::stoull(text, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+    }
+    QBARREN_REQUIRE(parsed == text.size() && !text.empty() && value >= 1,
+                    "--batch must be a positive lane count or 'auto', got '" +
+                        text + "'");
+    limit = static_cast<std::size_t>(value);
+  }
+  if (limit != exec::kBatchAuto && limit >= 2 &&
+      strip_engine_decorators(engine_name) == "adjoint") {
+    throw InvalidArgument(
+        "--batch " + text +
+        " makes no sense with --engine adjoint: the adjoint engine "
+        "computes the whole gradient in one forward/backward pass and has "
+        "no shifted bindings to batch; drop --batch, use --batch=auto "
+        "(runs serial), or pick a shift-rule engine (parameter-shift, "
+        "finite-diff, spsa)");
+  }
+  return std::make_unique<exec::ScopedBatchLimit>(limit);
+}
+
 VarianceExperimentOptions variance_options_from(const CliArgs& args) {
   VarianceExperimentOptions options;
   options.qubit_counts.clear();
@@ -239,6 +308,7 @@ int cmd_variance(const CliArgs& args) {
   const VarianceExperimentOptions options = variance_options_from(args);
   preflight(args, lint_variance_options(options), "variance preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto batch = scoped_batch_limit(args, options.gradient_engine);
   const auto verification = plan_verification(args);
   const VarianceResult result =
       VarianceExperiment(options).run_paper_set(FanMode::kLayerTensor,
@@ -285,6 +355,7 @@ int cmd_train(const CliArgs& args) {
   const TrainingExperimentOptions options = training_options_from(args);
   preflight(args, lint_training_options(options), "train preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto batch = scoped_batch_limit(args, options.gradient_engine);
   const auto verification = plan_verification(args);
   const TrainingResult result =
       TrainingExperiment(options).run_paper_set(FanMode::kLayerTensor,
@@ -327,6 +398,8 @@ int cmd_landscape(const CliArgs& args) {
   for (int q : args.get_int_list("qubits", {2, 5, 10})) {
     widths.push_back(static_cast<std::size_t>(q));
   }
+  // No gradient engine here; any valid --batch value applies.
+  const auto batch = scoped_batch_limit(args, "");
   const auto verification = plan_verification(args);
   std::printf("%s", landscape_flatness_table(widths, base).to_ascii().c_str());
   report_plan_verification(verification);
@@ -776,6 +849,12 @@ void print_help() {
       "variance/train/sweep run cells in parallel: --jobs <n> (0 = all\n"
       "cores), --cell-timeout-sec <s>, --max-cell-failures <k>,\n"
       "--cell-retries <r>; results are identical at any --jobs value.\n"
+      "variance/train/landscape accept --batch <B>|auto: evaluate up to B\n"
+      "parameter bindings per kernel dispatch (auto picks the width);\n"
+      "batched runs are byte-identical to serial ones, and --batch\n"
+      "composes with --jobs (lanes batch within a cell, cells fan out\n"
+      "across threads). An explicit --batch >= 2 is rejected with\n"
+      "--engine adjoint, which has no shifted bindings to batch.\n"
       "see the header of examples/qbarren_cli.cpp for per-command "
       "options.\n",
       kVersionString);

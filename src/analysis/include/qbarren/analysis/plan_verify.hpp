@@ -36,6 +36,11 @@
 //                   (info: the circuit cannot be lowered and execution
 //                   will use the interpreted fallback — emitted by
 //                   verify_circuit_lowering, never by verify_plan)
+//   QP107  error    batched-dispatch table broken: the rotation-slot table
+//                   does not assign dense, in-stream-order angle-table rows
+//                   to exactly the parameterized plan ops (every batched
+//                   dispatch must cover the same ops and bindings the
+//                   serial walk does)
 #pragma once
 
 #include <atomic>
@@ -87,20 +92,28 @@ struct PlanVerifyOptions {
 // --- static resource estimate (QB010, bench) -------------------------------
 
 /// Statically estimated execution cost of one pass of the lowered program
-/// over a 2^num_qubits state vector, from a simple per-kernel cost model
-/// (complex mul = 6 flops, complex add = 2; bytes = amplitudes read +
-/// written at 16 bytes each). Deterministic and exact for the model — used
-/// for plan-to-plan comparisons (QB010, bench JSON), not wall-time
-/// prediction.
+/// over `batch` 2^num_qubits state-vector lanes, from a simple per-kernel
+/// cost model (complex mul = 6 flops, complex add = 2; bytes = amplitudes
+/// read + written at 16 bytes each). `flops` and `bytes` scale linearly
+/// with the batch; `shared_bytes` is the per-op matrix traffic fetched
+/// once per dispatch regardless of lane count (2x2 entries 64 bytes, 4x4
+/// 256, fused runs 64 per element, CZ none) — the amortization batching
+/// buys. Deterministic and exact for the model — used for plan-to-plan
+/// comparisons (QB010, bench JSON), not wall-time prediction. batch = 1
+/// reproduces the serial estimate.
 struct PlanResourceEstimate {
   double flops = 0.0;
   double bytes = 0.0;
+  /// Matrix bytes fetched once per dispatch, independent of the batch.
+  double shared_bytes = 0.0;
   std::size_t plan_ops = 0;
   std::size_t fused_runs = 0;
+  /// Lane count the estimate is scaled for.
+  std::size_t batch = 1;
 };
 
 [[nodiscard]] PlanResourceEstimate estimate_plan_resources(
-    const exec::CompiledCircuit& plan);
+    const exec::CompiledCircuit& plan, std::size_t batch = 1);
 
 // --- run-wide verification hook --------------------------------------------
 

@@ -116,6 +116,10 @@ std::vector<double> compute_variance_cell(
     Rng param_rng = circuit_stream.child(1 + initializer_index);
     const std::vector<double> params =
         initializer.initialize(circuit, param_rng);
+    // Each sample draws its own circuit *structure*, so samples cannot
+    // share a compiled plan or a batch: batching happens inside the
+    // engine's partial, which evaluates the sample's shifted bindings as
+    // one batched dispatch when the process batch limit allows it.
     const double g = engine.partial(circuit, *observable, params, which);
     if (!std::isfinite(g)) {
       throw NumericalError(

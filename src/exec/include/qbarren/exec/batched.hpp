@@ -1,0 +1,85 @@
+// Batched execution policy and the batched shift evaluator.
+//
+// Batching never changes results — every batched path is byte-identical
+// to its serial counterpart — so the batch width is a process-wide
+// execution knob (like set_execution_plans_enabled), NOT a field of the
+// experiment option structs: it stays out of the determinism fingerprints
+// and the serve wire format by construction, exactly as
+// VarianceExperimentOptions deliberately excludes keep_samples.
+//
+// Semantics of the limit:
+//   1  — batching off (the default; every consumer takes its serial path)
+//   0  — auto: each consumer picks a width from its workload shape
+//        (parameter-shift gradients chunk 2P shifted bindings,
+//        landscape rows batch a grid row, SPSA batches its +/- pair)
+//   B>=2 — batch at most B lanes per dispatch
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qbarren/exec/compiled_circuit.hpp"
+
+namespace qbarren::exec {
+
+/// Batching off: every consumer stays on its serial path.
+inline constexpr std::size_t kBatchOff = 1;
+/// Auto: consumers derive the width from their workload shape.
+inline constexpr std::size_t kBatchAuto = 0;
+/// Lane cap consumers use when resolving kBatchAuto: wide enough to
+/// amortize matrix fetch and trig, small enough that a batch of deep-HEA
+/// lanes stays cache-resident.
+inline constexpr std::size_t kAutoBatchLanes = 32;
+
+/// Sets the process-wide batch limit (see the semantics above).
+void set_batch_limit(std::size_t limit) noexcept;
+[[nodiscard]] std::size_t batch_limit() noexcept;
+
+/// True when the limit is not kBatchOff — consumers route through the
+/// batched path (which still degrades to serial when a circuit has no
+/// attached plan, e.g. the malformed-custom-gate fallback).
+[[nodiscard]] bool batching_enabled() noexcept;
+
+/// Lane count a consumer should use for a workload that naturally has
+/// `natural` independent bindings: min(natural, kAutoBatchLanes) under
+/// kBatchAuto, min(natural, limit) otherwise; at least 1.
+[[nodiscard]] std::size_t resolve_batch_lanes(std::size_t limit,
+                                              std::size_t natural) noexcept;
+
+/// RAII guard: sets the process-wide batch limit, restores the prior
+/// value. The CLI's --batch flag and the tests scope batching with this.
+class ScopedBatchLimit {
+ public:
+  explicit ScopedBatchLimit(std::size_t limit);
+  ~ScopedBatchLimit();
+  ScopedBatchLimit(const ScopedBatchLimit&) = delete;
+  ScopedBatchLimit& operator=(const ScopedBatchLimit&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
+/// One shifted evaluation: the cost at `params` with
+/// params[param] += delta.
+struct ShiftSpec {
+  std::size_t param = 0;
+  double delta = 0.0;
+};
+
+/// Evaluates every spec's shifted cost in batched chunks, byte-identical
+/// to evaluating each spec through a PartialEvaluator: one base state is
+/// advanced through the op stream with the unshifted parameters; at each
+/// spec's consuming op a lane is branched off (copy of the base, shifted
+/// op applied), and every subsequent op is applied to all live lanes with
+/// its rotation entries computed once per op instead of once per lane.
+/// Specs are chunked so at most resolve_batch_lanes(batch_limit(),
+/// specs.size()) lanes are live at a time (a single parameter's specs are
+/// never split). Parameters without a unique consuming op (shared
+/// parameters, defensive) are evaluated serially, exactly as
+/// PartialEvaluator's fallback. Results are returned in spec order.
+[[nodiscard]] std::vector<double> shifted_expectations(
+    const CompiledCircuit& plan, const Observable& observable,
+    std::span<const double> params, std::span<const ShiftSpec> specs);
+
+}  // namespace qbarren::exec

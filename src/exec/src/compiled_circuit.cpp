@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "qbarren/exec/batched_kernels.hpp"
 #include "qbarren/exec/kernels.hpp"
 #include "qbarren/obs/observable.hpp"
 
@@ -280,6 +281,17 @@ std::shared_ptr<const CompiledCircuit> CompiledCircuit::compile(
   }
   flush_run();
 
+  // Batched dispatch table: parameterized ops get dense angle-table rows
+  // in stream order; everything else carries the sentinel.
+  plan->rotation_slot_.assign(plan->plan_ops_.size(), kNoBatchSlot);
+  std::uint32_t next_slot = 0;
+  for (std::size_t k = 0; k < plan->plan_ops_.size(); ++k) {
+    const Kernel kernel = plan->plan_ops_[k].kernel;
+    if (kernel == Kernel::kRotation || kernel == Kernel::kControlledRotation) {
+      plan->rotation_slot_[k] = next_slot++;
+    }
+  }
+
   plan->stats_.plan_ops = plan->plan_ops_.size();
   plan->stats_.cached_matrices = plan->pool2_.size() + plan->pool4_.size();
   return plan;
@@ -314,6 +326,126 @@ StateVector CompiledCircuit::simulate(std::span<const double> params) const {
   StateVector state(num_qubits_);
   apply_to(state, params);
   return state;
+}
+
+// --- batched execution -----------------------------------------------------
+
+void CompiledCircuit::apply_to_batch(BatchedStateVector& batch,
+                                     std::span<const double> bindings) const {
+  QBARREN_REQUIRE(batch.num_qubits() == num_qubits_,
+                  "CompiledCircuit::apply_to_batch: register width mismatch");
+  const std::size_t lanes = batch.batch_size();
+  QBARREN_REQUIRE(bindings.size() == lanes * num_params_,
+                  "CompiledCircuit::apply_to_batch: bindings must hold "
+                  "batch_size rows of num_parameters angles");
+  // Per-op angle table, one row per parameterized op: row r holds the
+  // rotation entries of every lane for the r-th parameterized op in stream
+  // order (rotation_slot_). Thread-local scratch — deep plans re-dispatch
+  // this thousands of times per experiment.
+  thread_local std::vector<gates::Mat2> angle_table;
+  angle_table.resize(stats_.rotation_ops * lanes);
+  for (std::size_t k = 0; k < plan_ops_.size(); ++k) {
+    const std::uint32_t slot = rotation_slot_[k];
+    if (slot == kNoBatchSlot) continue;
+    const PlanOp& op = plan_ops_[k];
+    gates::Mat2* row = angle_table.data() + std::size_t{slot} * lanes;
+    for (std::size_t b = 0; b < lanes; ++b) {
+      row[b] = gates::rotation_entries(op.axis,
+                                       bindings[b * num_params_ + op.param]);
+    }
+  }
+  for (std::size_t k = 0; k < plan_ops_.size(); ++k) {
+    const std::uint32_t slot = rotation_slot_[k];
+    const gates::Mat2* entries =
+        slot == kNoBatchSlot
+            ? nullptr
+            : angle_table.data() + std::size_t{slot} * lanes;
+    apply_plan_op_batch(k, batch, lanes, entries);
+  }
+}
+
+BatchedStateVector CompiledCircuit::simulate_batch(
+    std::span<const double> bindings, std::size_t batch_size) const {
+  BatchedStateVector batch(num_qubits_, batch_size);
+  apply_to_batch(batch, bindings);
+  return batch;
+}
+
+std::vector<double> CompiledCircuit::expectation_batch(
+    const Observable& observable, std::span<const double> bindings,
+    std::size_t batch_size) const {
+  const BatchedStateVector batch = simulate_batch(bindings, batch_size);
+  std::vector<double> values(batch_size);
+  StateVector scratch(num_qubits_);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    batch.extract_lane(b, scratch);
+    values[b] = observable.expectation(scratch);
+  }
+  return values;
+}
+
+void CompiledCircuit::apply_plan_op_batch(std::size_t k,
+                                          BatchedStateVector& batch,
+                                          std::size_t lanes,
+                                          const gates::Mat2* entries) const {
+  QBARREN_REQUIRE(k < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_batch: index out of range");
+  QBARREN_REQUIRE(lanes <= batch.batch_size(),
+                  "CompiledCircuit::apply_plan_op_batch: lane count exceeds "
+                  "batch");
+  const PlanOp& op = plan_ops_[k];
+  switch (op.kernel) {
+    case Kernel::kRotation:
+      QBARREN_REQUIRE(entries != nullptr,
+                      "CompiledCircuit::apply_plan_op_batch: parameterized "
+                      "op needs per-lane entries");
+      batched_apply_rotation_per_lane(batch, lanes, op.axis, entries,
+                                      op.qubit0);
+      return;
+    case Kernel::kControlledRotation:
+      QBARREN_REQUIRE(entries != nullptr,
+                      "CompiledCircuit::apply_plan_op_batch: parameterized "
+                      "op needs per-lane entries");
+      batched_apply_controlled_per_lane(batch, lanes, entries, op.qubit0,
+                                        op.qubit1);
+      return;
+    case Kernel::kFixedSingle:
+      batched_apply_mat2(batch, lanes, pool2_[op.matrix], op.qubit0);
+      return;
+    case Kernel::kFusedSingle:
+      batched_apply_mat2_run(batch, lanes, pool2_.data(),
+                             fused_.data() + op.fused_begin, op.fused_count,
+                             /*reverse=*/false, op.qubit0);
+      return;
+    case Kernel::kCnot:
+      batched_apply_controlled_mat2(batch, lanes, pool2_[op.matrix],
+                                    op.qubit0, op.qubit1);
+      return;
+    case Kernel::kCzGate:
+      batched_apply_cz(batch, lanes, op.qubit0, op.qubit1);
+      return;
+    case Kernel::kFixedTwo:
+      batched_apply_mat4(batch, lanes, pool4_[op.matrix], op.qubit0,
+                         op.qubit1);
+      return;
+  }
+  throw InvalidArgument("CompiledCircuit::apply_plan_op_batch: unknown kernel");
+}
+
+void CompiledCircuit::apply_plan_op_batch_pair(std::size_t k,
+                                               BatchedStateVector& batch,
+                                               std::size_t lanes,
+                                               const gates::Mat2& first,
+                                               const gates::Mat2& second) const {
+  QBARREN_REQUIRE(k + 1 < plan_ops_.size(),
+                  "CompiledCircuit::apply_plan_op_batch_pair: index out of "
+                  "range");
+  QBARREN_REQUIRE(plan_ops_[k].kernel == Kernel::kRotation &&
+                      plan_ops_[k + 1].kernel == Kernel::kRotation &&
+                      plan_ops_[k].qubit0 == plan_ops_[k + 1].qubit0,
+                  "CompiledCircuit::apply_plan_op_batch_pair: ops must be "
+                  "same-qubit rotations");
+  batched_apply_mat2_pair(batch, lanes, first, second, plan_ops_[k].qubit0);
 }
 
 double CompiledCircuit::adjoint_value_and_gradient(

@@ -1,0 +1,75 @@
+// Structure-of-arrays batch of state vectors.
+//
+// The paper's workloads evaluate ONE circuit structure at MANY parameter
+// bindings (parameter-shift's 2P shifted evaluations, landscape grid rows,
+// SPSA's +/- pair). A `BatchedStateVector` holds B independent n-qubit
+// registers as B contiguous amplitude "lanes" in a single allocation, so a
+// compiled plan can walk its kernel-op stream once and apply each op to
+// every lane while the gate matrix sits in registers (qbarren/exec/
+// batched_kernels.hpp). Each lane's amplitude layout is exactly a
+// StateVector's (qubit 0 = least-significant index bit); lanes never
+// interact, so per-lane results are bit-identical to simulating each
+// binding in its own StateVector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "qbarren/qsim/statevector.hpp"
+
+namespace qbarren {
+
+class BatchedStateVector {
+ public:
+  /// `batch_size` lanes, each |0...0> on `num_qubits` qubits. Requires
+  /// 1 <= num_qubits <= 28 and batch_size >= 1, with the total amplitude
+  /// count capped at 2^28 (the same ~4 GiB guard StateVector applies to a
+  /// single register).
+  BatchedStateVector(std::size_t num_qubits, std::size_t batch_size);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_; }
+  /// Amplitudes per lane (2^num_qubits).
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+
+  /// Resets every lane to |0...0>.
+  void reset();
+
+  /// Lane `b` as a span over the shared storage.
+  [[nodiscard]] std::span<Complex> lane(std::size_t b);
+  [[nodiscard]] std::span<const Complex> lane(std::size_t b) const;
+
+  /// Raw pointer to lane `b`'s first amplitude (kernel hot loops).
+  [[nodiscard]] Complex* lane_data(std::size_t b) noexcept {
+    return amps_.data() + b * dim_;
+  }
+  [[nodiscard]] const Complex* lane_data(std::size_t b) const noexcept {
+    return amps_.data() + b * dim_;
+  }
+
+  /// Copies `state` into lane `b`. Dimensions must match.
+  void set_lane(std::size_t b, const StateVector& state);
+
+  /// Copies lane `b` into `out` (reusing its storage). Dimensions must
+  /// match.
+  void extract_lane(std::size_t b, StateVector& out) const;
+
+  /// Lane `b` as a fresh StateVector.
+  [[nodiscard]] StateVector extract_lane(std::size_t b) const;
+
+  /// The whole lane-major storage (lane b occupies [b*dim, (b+1)*dim)).
+  [[nodiscard]] const std::vector<Complex>& amplitudes() const noexcept {
+    return amps_;
+  }
+  [[nodiscard]] std::vector<Complex>& amplitudes() noexcept { return amps_; }
+
+ private:
+  void check_lane(std::size_t b, const char* who) const;
+
+  std::size_t num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t batch_ = 0;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace qbarren

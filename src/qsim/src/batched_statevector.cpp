@@ -1,0 +1,71 @@
+#include "qbarren/qsim/batched_statevector.hpp"
+
+#include <algorithm>
+
+#include "qbarren/common/error.hpp"
+
+namespace qbarren {
+
+namespace {
+constexpr std::size_t kMaxQubits = 28;
+constexpr std::size_t kMaxTotalAmplitudes = std::size_t{1} << kMaxQubits;
+}  // namespace
+
+BatchedStateVector::BatchedStateVector(std::size_t num_qubits,
+                                       std::size_t batch_size)
+    : num_qubits_(num_qubits), batch_(batch_size) {
+  QBARREN_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxQubits,
+                  "BatchedStateVector: need 1 <= num_qubits <= 28");
+  QBARREN_REQUIRE(batch_size >= 1, "BatchedStateVector: need batch_size >= 1");
+  dim_ = std::size_t{1} << num_qubits;
+  QBARREN_REQUIRE(batch_size <= kMaxTotalAmplitudes / dim_,
+                  "BatchedStateVector: batch would exceed 2^28 amplitudes");
+  amps_.assign(batch_ * dim_, Complex{0.0, 0.0});
+  reset();
+}
+
+void BatchedStateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), Complex{0.0, 0.0});
+  for (std::size_t b = 0; b < batch_; ++b) {
+    amps_[b * dim_] = Complex{1.0, 0.0};
+  }
+}
+
+std::span<Complex> BatchedStateVector::lane(std::size_t b) {
+  check_lane(b, "lane");
+  return {amps_.data() + b * dim_, dim_};
+}
+
+std::span<const Complex> BatchedStateVector::lane(std::size_t b) const {
+  check_lane(b, "lane");
+  return {amps_.data() + b * dim_, dim_};
+}
+
+void BatchedStateVector::set_lane(std::size_t b, const StateVector& state) {
+  check_lane(b, "set_lane");
+  QBARREN_REQUIRE(state.dimension() == dim_,
+                  "BatchedStateVector::set_lane: dimension mismatch");
+  std::copy(state.amplitudes().begin(), state.amplitudes().end(),
+            amps_.begin() + static_cast<std::ptrdiff_t>(b * dim_));
+}
+
+void BatchedStateVector::extract_lane(std::size_t b, StateVector& out) const {
+  check_lane(b, "extract_lane");
+  QBARREN_REQUIRE(out.dimension() == dim_,
+                  "BatchedStateVector::extract_lane: dimension mismatch");
+  const Complex* src = lane_data(b);
+  std::copy(src, src + dim_, out.amplitudes().begin());
+}
+
+StateVector BatchedStateVector::extract_lane(std::size_t b) const {
+  StateVector out(num_qubits_);
+  extract_lane(b, out);
+  return out;
+}
+
+void BatchedStateVector::check_lane(std::size_t b, const char* who) const {
+  QBARREN_REQUIRE(b < batch_, std::string("BatchedStateVector::") + who +
+                                  ": lane out of range");
+}
+
+}  // namespace qbarren

@@ -1,0 +1,438 @@
+// Tests for batched plan execution: the BatchedStateVector container, the
+// process batch-limit policy, and — most importantly — exact byte-identity
+// (==, not near) of every batched consumer against its serial counterpart:
+// simulate/expectation, the shifted-binding evaluator, all shift-rule
+// gradient engines, landscape rows, variance cells, and Rotosolve.
+#include "qbarren/exec/batched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qbarren/bp/landscape.hpp"
+#include "qbarren/bp/variance.hpp"
+#include "qbarren/common/rng.hpp"
+#include "qbarren/exec/compiled_circuit.hpp"
+#include "qbarren/grad/engine.hpp"
+#include "qbarren/init/registry.hpp"
+#include "qbarren/obs/cost.hpp"
+#include "qbarren/obs/observable.hpp"
+#include "qbarren/opt/rotosolve.hpp"
+#include "qbarren/qsim/batched_statevector.hpp"
+
+namespace qbarren {
+namespace {
+
+// Same 13-kind random circuit generator as test_exec.cpp: every op kind
+// the builders expose, so the batched kernels all get exercised.
+Circuit random_circuit(Rng& rng, std::size_t qubits, std::size_t num_ops) {
+  Circuit c(qubits);
+  const auto axis = [&] {
+    const std::size_t a = rng.index(3);
+    return a == 0 ? gates::Axis::kX : a == 1 ? gates::Axis::kY : gates::Axis::kZ;
+  };
+  const auto pair = [&](std::size_t& a, std::size_t& b) {
+    a = rng.index(qubits);
+    b = rng.index(qubits - 1);
+    if (b >= a) ++b;
+  };
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const std::size_t q = rng.index(qubits);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    switch (rng.index(13)) {
+      case 0:
+        c.add_rotation(axis(), q);
+        break;
+      case 1:
+        pair(a, b);
+        c.add_controlled_rotation(axis(), a, b);
+        break;
+      case 2:
+        c.add_fixed_rotation(axis(), q, rng.uniform(-M_PI, M_PI));
+        break;
+      case 3:
+        c.add_hadamard(q);
+        break;
+      case 4:
+        c.add_pauli_x(q);
+        break;
+      case 5:
+        c.add_pauli_y(q);
+        break;
+      case 6:
+        c.add_pauli_z(q);
+        break;
+      case 7:
+        c.add_s(q);
+        break;
+      case 8:
+        c.add_t(q);
+        break;
+      case 9:
+        pair(a, b);
+        c.add_cz(a, b);
+        break;
+      case 10:
+        pair(a, b);
+        c.add_cnot(a, b);
+        break;
+      case 11:
+        pair(a, b);
+        c.add_swap(a, b);
+        break;
+      case 12:
+        if (rng.bernoulli(0.5)) {
+          c.add_custom_gate("u3", gates::u3(rng.uniform(0.0, M_PI),
+                                            rng.uniform(0.0, 2.0 * M_PI),
+                                            rng.uniform(0.0, 2.0 * M_PI)),
+                            q);
+        } else {
+          pair(a, b);
+          c.add_custom_two_qubit_gate(
+              "crz*swap", gates::crz(rng.uniform(-M_PI, M_PI)) * gates::swap(),
+              std::min(a, b), std::max(a, b));
+        }
+        break;
+    }
+  }
+  return c;
+}
+
+void expect_states_equal(const StateVector& got, const StateVector& want) {
+  ASSERT_EQ(got.dimension(), want.dimension());
+  for (std::size_t i = 0; i < got.dimension(); ++i) {
+    EXPECT_EQ(got.amplitudes()[i].real(), want.amplitudes()[i].real()) << i;
+    EXPECT_EQ(got.amplitudes()[i].imag(), want.amplitudes()[i].imag()) << i;
+  }
+}
+
+void expect_vectors_equal(const std::vector<double>& got,
+                          const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "index " << i;
+  }
+}
+
+// --- BatchedStateVector ------------------------------------------------------
+
+TEST(BatchedStateVector, StartsWithEveryLaneInZeroState) {
+  BatchedStateVector batch(3, 4);
+  EXPECT_EQ(batch.num_qubits(), 3u);
+  EXPECT_EQ(batch.batch_size(), 4u);
+  EXPECT_EQ(batch.dimension(), 8u);
+  for (std::size_t b = 0; b < batch.batch_size(); ++b) {
+    const StateVector lane = batch.extract_lane(b);
+    EXPECT_EQ(lane.amplitudes()[0], Complex(1.0, 0.0));
+    for (std::size_t i = 1; i < lane.dimension(); ++i) {
+      EXPECT_EQ(lane.amplitudes()[i], Complex(0.0, 0.0));
+    }
+  }
+}
+
+TEST(BatchedStateVector, SetAndExtractLaneRoundTrip) {
+  Rng rng(11);
+  Circuit c = random_circuit(rng, 3, 12);
+  const std::vector<double> params =
+      rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+  const StateVector reference = c.simulate(params);
+
+  BatchedStateVector batch(3, 3);
+  batch.set_lane(1, reference);
+  expect_states_equal(batch.extract_lane(1), reference);
+  // The other lanes are untouched.
+  EXPECT_EQ(batch.extract_lane(0).amplitudes()[0], Complex(1.0, 0.0));
+  EXPECT_EQ(batch.extract_lane(2).amplitudes()[0], Complex(1.0, 0.0));
+
+  batch.reset();
+  EXPECT_EQ(batch.extract_lane(1).amplitudes()[0], Complex(1.0, 0.0));
+}
+
+TEST(BatchedStateVector, RejectsInvalidShapesAndLanes) {
+  EXPECT_THROW(BatchedStateVector(0, 2), InvalidArgument);
+  EXPECT_THROW(BatchedStateVector(2, 0), InvalidArgument);
+  BatchedStateVector batch(2, 2);
+  EXPECT_THROW((void)batch.lane(2), InvalidArgument);
+  EXPECT_THROW((void)batch.extract_lane(5), InvalidArgument);
+  EXPECT_THROW(batch.set_lane(2, StateVector(2)), InvalidArgument);
+  EXPECT_THROW(batch.set_lane(0, StateVector(3)), InvalidArgument);
+}
+
+// --- batch-limit policy ------------------------------------------------------
+
+TEST(BatchPolicy, DefaultsToOffAndScopedLimitRestores) {
+  EXPECT_EQ(exec::batch_limit(), exec::kBatchOff);
+  EXPECT_FALSE(exec::batching_enabled());
+  {
+    exec::ScopedBatchLimit limit(8);
+    EXPECT_EQ(exec::batch_limit(), 8u);
+    EXPECT_TRUE(exec::batching_enabled());
+    {
+      exec::ScopedBatchLimit inner(exec::kBatchAuto);
+      EXPECT_EQ(exec::batch_limit(), exec::kBatchAuto);
+      EXPECT_TRUE(exec::batching_enabled());
+    }
+    EXPECT_EQ(exec::batch_limit(), 8u);
+  }
+  EXPECT_EQ(exec::batch_limit(), exec::kBatchOff);
+  EXPECT_FALSE(exec::batching_enabled());
+}
+
+TEST(BatchPolicy, ResolveBatchLanesCapsAndFloors) {
+  // Explicit limit: min(limit, natural), at least 1.
+  EXPECT_EQ(exec::resolve_batch_lanes(4, 100), 4u);
+  EXPECT_EQ(exec::resolve_batch_lanes(4, 3), 3u);
+  EXPECT_EQ(exec::resolve_batch_lanes(1, 100), 1u);
+  EXPECT_EQ(exec::resolve_batch_lanes(7, 0), 1u);
+  // Auto: min(kAutoBatchLanes, natural).
+  EXPECT_EQ(exec::resolve_batch_lanes(exec::kBatchAuto, 100),
+            exec::kAutoBatchLanes);
+  EXPECT_EQ(exec::resolve_batch_lanes(exec::kBatchAuto, 5), 5u);
+}
+
+// --- simulate_batch / expectation_batch --------------------------------------
+
+TEST(BatchedExecution, SimulateBatchMatchesSerialLaneByLane) {
+  Rng rng(21);
+  for (const std::size_t qubits : {2u, 4u, 5u}) {
+    for (const std::size_t lanes : {1u, 3u, 8u}) {
+      Circuit c = random_circuit(rng, qubits, 24);
+      const auto plan = exec::plan_for(c);
+      ASSERT_NE(plan, nullptr);
+      const std::size_t num_params = c.num_parameters();
+
+      std::vector<double> bindings(lanes * num_params);
+      for (double& v : bindings) v = rng.uniform(-M_PI, M_PI);
+
+      const BatchedStateVector batch = plan->simulate_batch(bindings, lanes);
+      for (std::size_t b = 0; b < lanes; ++b) {
+        const std::vector<double> row(
+            bindings.begin() + static_cast<std::ptrdiff_t>(b * num_params),
+            bindings.begin() +
+                static_cast<std::ptrdiff_t>((b + 1) * num_params));
+        expect_states_equal(batch.extract_lane(b), c.simulate(row));
+      }
+    }
+  }
+}
+
+TEST(BatchedExecution, ExpectationBatchMatchesSerialForEveryObservable) {
+  Rng rng(22);
+  const std::size_t qubits = 4;
+  Circuit c = random_circuit(rng, qubits, 30);
+  const auto plan = exec::plan_for(c);
+  ASSERT_NE(plan, nullptr);
+  const std::size_t num_params = c.num_parameters();
+
+  const GlobalZeroObservable global(qubits);
+  const LocalZeroObservable local(qubits);
+
+  const std::size_t lanes = 5;  // deliberately not a power of two
+  std::vector<double> bindings(lanes * num_params);
+  for (double& v : bindings) v = rng.uniform(-M_PI, M_PI);
+
+  const std::vector<double> got_global =
+      plan->expectation_batch(global, bindings, lanes);
+  const std::vector<double> got_local =
+      plan->expectation_batch(local, bindings, lanes);
+  ASSERT_EQ(got_global.size(), lanes);
+  for (std::size_t b = 0; b < lanes; ++b) {
+    const std::vector<double> row(
+        bindings.begin() + static_cast<std::ptrdiff_t>(b * num_params),
+        bindings.begin() + static_cast<std::ptrdiff_t>((b + 1) * num_params));
+    const StateVector state = c.simulate(row);
+    EXPECT_EQ(got_global[b], global.expectation(state)) << b;
+    EXPECT_EQ(got_local[b], local.expectation(state)) << b;
+  }
+}
+
+// --- shifted_expectations ----------------------------------------------------
+
+TEST(ShiftedExpectations, MatchesPartialEvaluatorAtEveryChunking) {
+  Rng rng(31);
+  const std::size_t qubits = 4;
+  Circuit c = random_circuit(rng, qubits, 36);
+  const auto plan = exec::plan_for(c);
+  ASSERT_NE(plan, nullptr);
+  const std::size_t num_params = c.num_parameters();
+  if (num_params == 0) GTEST_SKIP() << "random draw produced no parameters";
+  const GlobalZeroObservable observable(qubits);
+  const std::vector<double> params =
+      rng.uniform_vector(num_params, -M_PI, M_PI);
+
+  std::vector<exec::ShiftSpec> specs;
+  for (std::size_t p = 0; p < num_params; ++p) {
+    specs.push_back({p, M_PI / 2.0});
+    specs.push_back({p, -M_PI / 2.0});
+    if (p % 3 == 0) specs.push_back({p, 3.0 * M_PI / 2.0});
+  }
+
+  std::vector<double> want(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    exec::PartialEvaluator cost(plan, observable, params, specs[s].param);
+    want[s] = cost(specs[s].delta);
+  }
+
+  // Every chunking — single-lane, tiny, non-power-of-two, auto, and wider
+  // than the spec list — must reproduce the serial evaluator exactly.
+  for (const std::size_t limit : {1u, 2u, 5u, 16u, 1000u}) {
+    exec::ScopedBatchLimit scoped(limit);
+    expect_vectors_equal(
+        exec::shifted_expectations(*plan, observable, params, specs), want);
+  }
+  {
+    exec::ScopedBatchLimit scoped(exec::kBatchAuto);
+    expect_vectors_equal(
+        exec::shifted_expectations(*plan, observable, params, specs), want);
+  }
+}
+
+// --- gradient engines --------------------------------------------------------
+
+TEST(BatchedGradients, ShiftRuleEnginesMatchSerialExactly) {
+  Rng rng(41);
+  const std::size_t qubits = 4;
+  for (int round = 0; round < 3; ++round) {
+    Circuit c = random_circuit(rng, qubits, 32);
+    // Guarantee both shift rules fire: a plain rotation and a controlled
+    // rotation (4-term rule) are always present.
+    c.add_rotation(gates::Axis::kY, 1);
+    c.add_controlled_rotation(gates::Axis::kZ, 0, 2);
+    const std::size_t num_params = c.num_parameters();
+    const GlobalZeroObservable observable(qubits);
+    const std::vector<double> params =
+        rng.uniform_vector(num_params, -M_PI, M_PI);
+
+    for (const char* name : {"parameter-shift", "finite-difference"}) {
+      const auto engine = make_gradient_engine(name);
+      const std::vector<double> serial_grad =
+          engine->gradient(c, observable, params);
+      const double serial_partial =
+          engine->partial(c, observable, params, num_params - 1);
+      for (const std::size_t limit : {exec::kBatchAuto, 2ul, 5ul, 16ul}) {
+        exec::ScopedBatchLimit scoped(limit);
+        expect_vectors_equal(engine->gradient(c, observable, params),
+                             serial_grad);
+        EXPECT_EQ(engine->partial(c, observable, params, num_params - 1),
+                  serial_partial)
+            << name << " limit " << limit;
+      }
+    }
+  }
+}
+
+TEST(BatchedGradients, SpsaMatchesSerialExactly) {
+  Rng rng(42);
+  const std::size_t qubits = 4;
+  Circuit c = random_circuit(rng, qubits, 28);
+  c.add_rotation(gates::Axis::kX, 0);
+  const GlobalZeroObservable observable(qubits);
+  const std::vector<double> params =
+      rng.uniform_vector(c.num_parameters(), -M_PI, M_PI);
+
+  // SPSA is stateful (its own RNG advances per call), so each comparison
+  // uses a fresh engine seeded identically.
+  const std::vector<double> serial =
+      SpsaEngine(7, 0.1).gradient(c, observable, params);
+  for (const std::size_t limit : {exec::kBatchAuto, 2ul, 16ul}) {
+    exec::ScopedBatchLimit scoped(limit);
+    expect_vectors_equal(SpsaEngine(7, 0.1).gradient(c, observable, params),
+                         serial);
+  }
+}
+
+TEST(BatchedGradients, MalformedCustomGateStillFallsBackToInterpreted) {
+  // compile() refuses the 3x3 "gate", plan_for returns nullptr, and the
+  // engines take their interpreted path — a batch limit changes nothing,
+  // including the interpreted fallback's error report on execution.
+  Circuit c(2);
+  c.add_rotation(gates::Axis::kX, 0);
+  c.add_custom_gate("bad-dims", ComplexMatrix(3, 3), 1);
+  c.add_rotation(gates::Axis::kY, 1);
+  const GlobalZeroObservable observable(2);
+  const std::vector<double> params{0.3, -1.1};
+
+  const auto engine = make_gradient_engine("parameter-shift");
+  {
+    exec::ScopedBatchLimit scoped(8);
+    EXPECT_EQ(exec::plan_for(c), nullptr);
+    EXPECT_THROW((void)engine->gradient(c, observable, params),
+                 InvalidArgument);
+    EXPECT_THROW((void)c.simulate(params), InvalidArgument);
+  }
+}
+
+// --- landscape ---------------------------------------------------------------
+
+TEST(BatchedLandscape, ScanMatchesSerialAtNonPowerOfTwoWidth) {
+  LandscapeOptions options;
+  options.qubits = 3;
+  options.layers = 4;
+  options.grid_points = 7;  // 7 % 3 != 0: rows chunk unevenly
+  options.seed = 5;
+  const LandscapeResult serial = scan_landscape(options);
+  for (const std::size_t limit : {3ul, exec::kBatchAuto}) {
+    exec::ScopedBatchLimit scoped(limit);
+    const LandscapeResult batched = scan_landscape(options);
+    expect_vectors_equal(batched.values, serial.values);
+    EXPECT_EQ(batched.min_value, serial.min_value);
+    EXPECT_EQ(batched.max_value, serial.max_value);
+    EXPECT_EQ(batched.stddev, serial.stddev);
+  }
+}
+
+// --- variance ----------------------------------------------------------------
+
+TEST(BatchedVariance, CellSamplesMatchSerialExactly) {
+  VarianceExperimentOptions options;
+  options.qubit_counts = {3};
+  options.circuits_per_point = 6;
+  options.layers = 5;
+  options.seed = 42;
+  const auto initializers = paper_initializers();
+  ASSERT_FALSE(initializers.empty());
+  const auto engine = make_gradient_engine(options.gradient_engine);
+
+  const std::vector<double> serial = compute_variance_cell(
+      options, 0, *initializers.front(), 0, *engine);
+  {
+    exec::ScopedBatchLimit scoped(exec::kBatchAuto);
+    expect_vectors_equal(
+        compute_variance_cell(options, 0, *initializers.front(), 0, *engine),
+        serial);
+  }
+}
+
+// --- rotosolve ---------------------------------------------------------------
+
+TEST(BatchedRotosolve, TrainingHistoryMatchesSerialExactly) {
+  auto circuit = std::make_shared<Circuit>(3);
+  for (std::size_t layer = 0; layer < 3; ++layer) {
+    for (std::size_t q = 0; q < 3; ++q) {
+      circuit->add_rotation(gates::Axis::kX, q);
+      circuit->add_rotation(gates::Axis::kY, q);
+    }
+    circuit->add_cz(0, 1);
+    circuit->add_cz(1, 2);
+  }
+  const CostFunction cost = make_identity_cost(circuit);
+  Rng rng(9);
+  const std::vector<double> init =
+      rng.uniform_vector(cost.num_parameters(), -M_PI, M_PI);
+
+  RotosolveOptions options;
+  options.max_sweeps = 3;
+  const TrainResult serial = train_rotosolve(cost, init, options);
+  {
+    exec::ScopedBatchLimit scoped(4);
+    const TrainResult batched = train_rotosolve(cost, init, options);
+    expect_vectors_equal(batched.loss_history, serial.loss_history);
+    expect_vectors_equal(batched.final_params, serial.final_params);
+    EXPECT_EQ(batched.final_loss, serial.final_loss);
+  }
+}
+
+}  // namespace
+}  // namespace qbarren
