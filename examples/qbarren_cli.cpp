@@ -22,6 +22,12 @@
 //   qbarren_cli submit     --socket <path> [--request <file>] (default
 //                          stdin); streams the event lines and exits with
 //                          the request's exit code
+//   qbarren_cli predict    [--qubits 2,4,6,8,10] [--layers 50]
+//                          [--cost global|local|zz] [--seed 42]
+//                          [--param last|middle|first]
+//                          [--init name1,name2,...] [--structures 32]
+//                          [--json out.json] [--conformance
+//                          [--circuits 200] [--checkpoint f [--resume]]]
 //   qbarren_cli lint       --qasm <file> | --ansatz variance|training|
 //                          motivational [--qubits 10] [--layers 50]
 //                          [--cost global|local|zz] [--seed 42]
@@ -44,9 +50,10 @@
 // fingerprints, orphan cells). Both exit 1 on error findings, and the
 // serve layer runs the same request audit as part of admission control.
 //
-// `lint` statically analyzes a circuit (rules QB001-QB010: dead
+// `lint` statically analyzes a circuit (rules QB001-QB011 + QN120: dead
 // parameters, barren-plateau risk, redundant rotations, cancelling gate
-// pairs, light-cone widths, plan cost, ...) and exits 1 when any
+// pairs, light-cone widths, plan cost, closed-form predicted gradient
+// variance, FP-noise-floor violations, ...) and exits 1 when any
 // error-severity finding fires. With --verify-plan it additionally lowers
 // the circuit to a compiled execution plan and statically verifies the
 // lowering (PlanVerifier, codes QP100-QP107). The experiment runners
@@ -95,6 +102,7 @@
 #include <sstream>
 
 #include "qbarren/analysis/plan_verify.hpp"
+#include "qbarren/analysis/predict.hpp"
 #include "qbarren/analysis/preflight.hpp"
 #include "qbarren/analysis/store_audit.hpp"
 #include "qbarren/analysis/stream_graph.hpp"
@@ -379,6 +387,7 @@ int cmd_sweep(const CliArgs& args) {
       static_cast<std::size_t>(args.get_int("repetitions", 5));
   preflight(args, lint_sweep_options(options), "sweep preflight");
   ResilientRun resilient(args, options_fingerprint(options));
+  const auto batch = scoped_batch_limit(args, options.base.gradient_engine);
   const auto verification = plan_verification(args);
   const auto owned = paper_initializers();
   const TrainingSweepResult result =
@@ -568,6 +577,72 @@ int cmd_submit(const CliArgs& args) {
   }
   ::close(fd);
   return exit_code;
+}
+
+/// `qbarren predict`: the static Fig 5a — the closed-form variance model
+/// evaluated over the same (qubits x initializer) grid the Monte-Carlo
+/// `variance` subcommand simulates, in milliseconds and with zero
+/// simulation. --conformance additionally runs the Monte-Carlo half and
+/// checks every cell against the committed tolerance bands (exit 1 when
+/// the model drifts out of band or the Fig 5a ordering breaks).
+int cmd_predict(const CliArgs& args) {
+  const VarianceExperimentOptions options = variance_options_from(args);
+  std::vector<std::string> initializers;
+  if (args.has("init")) {
+    std::stringstream stream(args.get_string("init", ""));
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      QBARREN_REQUIRE(!name.empty(), "--init: empty list entry");
+      if (!angle_model_supported(name)) {
+        throw InvalidArgument(
+            "predict: initializer '" + name +
+            "' has no closed-form angle model (beta's non-zero-mean law "
+            "breaks the near-identity expansion); drop it or use the "
+            "Monte-Carlo `variance` subcommand");
+      }
+      initializers.push_back(name);
+    }
+    QBARREN_REQUIRE(!initializers.empty(),
+                    "--init needs at least one initializer name");
+  } else {
+    initializers = {"random", "xavier-normal", "xavier-uniform",
+                    "he",     "lecun",         "orthogonal"};
+  }
+  // Ensemble cap: the prediction averages over the same circuit
+  // structures the Monte-Carlo cell would sample; 32 is converged (the
+  // spread across structures is small next to the decade-scale bands).
+  const auto structures =
+      static_cast<std::size_t>(args.get_int("structures", 32));
+
+  if (args.get_bool("conformance", false)) {
+    ResilientRun resilient(args, options_fingerprint(options));
+    const auto batch = scoped_batch_limit(args, options.gradient_engine);
+    const ConformanceReport report =
+        predict_conformance(options, initializers, default_conformance_bands(),
+                            {}, resilient.control);
+    std::printf("%s\n%s", report.table().to_ascii().c_str(),
+                report.slope_table().to_ascii().c_str());
+    std::printf("ordering %s, tolerance bands %s\n",
+                report.ordering_ok ? "ok" : "BROKEN",
+                report.all_within ? "ok" : "EXCEEDED");
+    if (args.has("json")) {
+      const std::string path = args.get_string("json", "conformance.json");
+      write_json_file(report.to_json(), path);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return report.ok() ? kExitOk : kExitFailure;
+  }
+
+  const PredictionGrid grid =
+      predict_variance_grid(options, initializers, {}, structures);
+  std::printf("%s\n%s", grid.variance_table().to_ascii().c_str(),
+              grid.decay_table().to_ascii().c_str());
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "predict.json");
+    write_json_file(to_json(grid), path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return kExitOk;
 }
 
 int cmd_lint(const CliArgs& args) {
@@ -820,7 +895,12 @@ void print_help() {
   std::printf(
       "qbarren %s — barren-plateau experiments\n"
       "subcommands: variance | train | sweep | landscape | express | "
-      "lightcone | lint | audit | fsck | serve | submit\n"
+      "lightcone | predict | lint | audit | fsck | serve | submit\n"
+      "predict evaluates the closed-form 2-design gradient-variance model\n"
+      "over the Fig 5a grid with zero simulation (--init to select\n"
+      "initializers; beta is refused — no closed-form law). --conformance\n"
+      "also runs the Monte-Carlo pipeline and checks each cell against\n"
+      "the committed decade bands, exiting 1 on drift.\n"
       "audit statically verifies RNG stream independence and fingerprint\n"
       "soundness (rules QD100-QD103): --kind variance|training|sweep with\n"
       "the runner's flags, --rep-seeds s1,s2,... to check a hand-rolled\n"
@@ -838,7 +918,8 @@ void print_help() {
       "exit codes: 0 ok, 1 failure, 3 admission-rejected/backpressure,\n"
       "4 worker-crash-budget, 130 interrupted.\n"
       "lint statically analyzes a circuit (--qasm <file> or --ansatz\n"
-      "variance|training|motivational; --rules lists rules QB001-QB010;\n"
+      "variance|training|motivational; --rules lists rules QB001-QB011\n"
+      "and QN120;\n"
       "--verify-plan also verifies the compiled execution plan, QP1xx);\n"
       "variance/train/sweep accept --lint=off|warn|error (default warn)\n"
       "to gate the launch on the same analysis, and --verify-plans to\n"
@@ -849,7 +930,8 @@ void print_help() {
       "variance/train/sweep run cells in parallel: --jobs <n> (0 = all\n"
       "cores), --cell-timeout-sec <s>, --max-cell-failures <k>,\n"
       "--cell-retries <r>; results are identical at any --jobs value.\n"
-      "variance/train/landscape accept --batch <B>|auto: evaluate up to B\n"
+      "variance/train/sweep/landscape accept --batch <B>|auto: evaluate\n"
+      "up to B\n"
       "parameter bindings per kernel dispatch (auto picks the width);\n"
       "batched runs are byte-identical to serial ones, and --batch\n"
       "composes with --jobs (lanes batch within a cell, cells fan out\n"
@@ -876,6 +958,7 @@ int main(int argc, char** argv) {
     if (command == "landscape") return cmd_landscape(args);
     if (command == "express") return cmd_express(args);
     if (command == "lightcone") return cmd_lightcone(args);
+    if (command == "predict") return cmd_predict(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "audit") return cmd_audit(args);
     if (command == "fsck") return cmd_fsck(args);

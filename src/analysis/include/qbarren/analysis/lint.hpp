@@ -41,9 +41,21 @@
 //   QB010  info     statically estimated flops/bytes per application of
 //                   the circuit's compiled plan (plan_verify.hpp cost
 //                   model; also recorded in the bench JSON)
+//   QB011  info     closed-form per-parameter predicted gradient variance
+//                   (predict.hpp, random baseline law) with regime
+//                   classification; escalates to an **error** when the
+//                   differentiated parameter is provably barren
+//                   (predicted variance < bp_variance_floor). When the
+//                   model refuses (custom gates), the refusal itself is
+//                   the info finding — never a wrong number
+//   QN120  error    predicted gradient variance below the compiled plan's
+//                   accumulated FP rounding-error bound: a Monte-Carlo
+//                   sample would be numerically indistinguishable from
+//                   noise (predict.hpp noise-floor model)
 //
 // QB001/QB004/QB008/QB009 run on the shared dataflow framework
-// (dataflow.hpp) rather than rule-private scans.
+// (dataflow.hpp) rather than rule-private scans; QB002/QB011/QN120 share
+// one VariancePredictor (predict.hpp) per lint pass.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +88,16 @@ struct LintOptions {
 
   /// Unitarity tolerance for QB006 (max elementwise |u^H u - I|).
   double unitarity_tolerance = 1e-9;
+
+  /// QB011 escalates to an error when the differentiated parameter's
+  /// predicted gradient variance (closed-form model, random baseline law)
+  /// falls below this floor: the run is provably barren before any
+  /// simulation. The default sits between the model's q = 8 (~4.6e-6) and
+  /// q = 10 (~2.9e-7) predictions for the paper's 50-layer global-cost
+  /// grid, so the widths the paper trains cleanly are admitted and the
+  /// provably-flat tail is refused. Raise, lower, or disable ("QB011")
+  /// deliberately per run.
+  double bp_variance_floor = 1e-6;
 
   [[nodiscard]] bool rule_enabled(const std::string& code) const;
 };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qbarren/bp/landscape.hpp"
+#include "qbarren/bp/training.hpp"
 #include "qbarren/bp/variance.hpp"
 #include "qbarren/common/rng.hpp"
 #include "qbarren/exec/compiled_circuit.hpp"
@@ -402,6 +403,29 @@ TEST(BatchedVariance, CellSamplesMatchSerialExactly) {
     expect_vectors_equal(
         compute_variance_cell(options, 0, *initializers.front(), 0, *engine),
         serial);
+  }
+}
+
+TEST(BatchedSweep, FinalLossesMatchSerialExactly) {
+  // The CLI's `sweep --batch` path: a whole training sweep under a
+  // scoped batch limit is byte-identical to the serial run.
+  TrainingSweepOptions options;
+  options.base.qubits = 3;
+  options.base.layers = 2;
+  options.base.iterations = 3;
+  options.base.seed = 11;
+  options.repetitions = 2;
+  const auto owned = paper_initializers();
+  std::vector<const Initializer*> inits;
+  for (const auto& init : owned) inits.push_back(init.get());
+
+  const TrainingSweepResult serial = run_training_sweep(inits, options);
+  exec::ScopedBatchLimit scoped(4);
+  const TrainingSweepResult batched = run_training_sweep(inits, options);
+  ASSERT_EQ(batched.series.size(), serial.series.size());
+  for (std::size_t s = 0; s < serial.series.size(); ++s) {
+    expect_vectors_equal(batched.series[s].final_losses,
+                         serial.series[s].final_losses);
   }
 }
 

@@ -101,7 +101,9 @@ TEST(LintQB002, FlagsGlobalCostOnDeepWideHea) {
       std::find_if(diags.begin(), diags.end(),
                    [](const Diagnostic& d) { return d.code == "QB002"; });
   EXPECT_EQ(it->severity, Severity::kWarning);
-  EXPECT_NE(it->message.find("2^(-2*10)"), std::string::npos);
+  EXPECT_NE(it->message.find("closed-form 2-design model predicts"),
+            std::string::npos);
+  EXPECT_NE(it->message.find("light-cone width"), std::string::npos);
 }
 
 TEST(LintQB002, SilentForLocalCostAndForShallowCircuits) {
@@ -118,6 +120,121 @@ TEST(LintQB002, SilentForLocalCostAndForShallowCircuits) {
   global.observable_qubits = all_qubits(10);
   global.global_cost = true;
   EXPECT_FALSE(has_code(lint_circuit(shallow, global), "QB002"));
+}
+
+// --- QB011: closed-form predicted gradient variance --------------------------
+
+TEST(LintQB011, ReportsModelSummaryWithoutEscalationAtPaperWidths) {
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 50;
+  const Circuit circuit = variance_ansatz(8, rng, options);
+
+  CircuitLintContext context;
+  context.observable_qubits = all_qubits(8);
+  context.global_cost = true;
+  context.differentiated_parameter = circuit.num_parameters() - 1;
+  const Diagnostics diags = lint_circuit(circuit, context);
+
+  ASSERT_TRUE(has_code(diags, "QB011"));
+  // q = 8 predicts ~4.6e-6, above the 1e-6 default floor: info only.
+  EXPECT_FALSE(has_errors(diags));
+  const auto it =
+      std::find_if(diags.begin(), diags.end(),
+                   [](const Diagnostic& d) { return d.code == "QB011"; });
+  EXPECT_EQ(it->severity, Severity::kInfo);
+  EXPECT_NE(it->message.find("predicted Var[dC/dtheta]"), std::string::npos);
+}
+
+TEST(LintQB011, EscalatesProvablyBarrenDifferentiatedParameter) {
+  // q = 10 under the global cost predicts ~2.9e-7 for the deepest
+  // parameter — below the 1e-6 floor, so the run is refused statically.
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 50;
+  const Circuit circuit = variance_ansatz(10, rng, options);
+
+  CircuitLintContext context;
+  context.observable_qubits = all_qubits(10);
+  context.global_cost = true;
+  context.differentiated_parameter = circuit.num_parameters() - 1;
+  const Diagnostics diags = lint_circuit(circuit, context);
+
+  const auto it = std::find_if(
+      diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.code == "QB011" && d.severity == Severity::kError;
+      });
+  ASSERT_NE(it, diags.end());
+  EXPECT_NE(it->message.find("provably barren"), std::string::npos);
+
+  // Without a differentiated parameter (training preflight) the same
+  // circuit stays info-only: escalation is tied to the sampled gradient.
+  CircuitLintContext training = context;
+  training.differentiated_parameter.reset();
+  EXPECT_FALSE(has_errors(lint_circuit(circuit, training)));
+
+  // Raising the floor admits the run again.
+  LintOptions lenient;
+  lenient.bp_variance_floor = 1e-9;
+  EXPECT_FALSE(has_errors(lint_circuit(circuit, context, lenient)));
+}
+
+TEST(LintQB011, RefusesCustomGatesWithInfoNotANumber) {
+  // The closed-form model only covers the paper's gate set; a custom gate
+  // must surface as an applicability finding, never a wrong number.
+  Circuit circuit(2);
+  circuit.add_rotation(gates::Axis::kX, 0);
+  circuit.add_custom_gate("id", ComplexMatrix::identity(2), 1);
+
+  CircuitLintContext context;
+  context.observable_qubits = {0, 1};
+  context.differentiated_parameter = 0;
+  const Diagnostics diags = lint_circuit(circuit, context);
+  const auto it =
+      std::find_if(diags.begin(), diags.end(),
+                   [](const Diagnostic& d) { return d.code == "QB011"; });
+  ASSERT_NE(it, diags.end());
+  EXPECT_EQ(it->severity, Severity::kInfo);
+  EXPECT_NE(it->message.find("custom"), std::string::npos);
+}
+
+// --- QN120: predicted variance below the FP noise floor ----------------------
+
+TEST(LintQN120, FlagsVarianceBelowAccumulatedRoundingError) {
+  // At q = 44 the 2-design prediction (~c0 * 2^(-88) ~ 1e-27) sinks below
+  // the compiled plan's accumulated rounding-error bound: a Monte-Carlo
+  // estimate would measure FP noise, not signal. Static only — no 2^44
+  // state is ever allocated.
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 6;
+  const Circuit circuit = variance_ansatz(44, rng, options);
+
+  CircuitLintContext context;
+  context.observable_qubits = all_qubits(44);
+  context.global_cost = true;
+  context.differentiated_parameter = circuit.num_parameters() - 1;
+  const Diagnostics diags = lint_circuit(circuit, context);
+
+  const auto it = std::find_if(
+      diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.code == "QN120" && d.severity == Severity::kError;
+      });
+  ASSERT_NE(it, diags.end());
+  EXPECT_NE(it->message.find("noise"), std::string::npos);
+}
+
+TEST(LintQN120, SilentAtPaperWidths) {
+  Rng rng(3);
+  VarianceAnsatzOptions options;
+  options.layers = 50;
+  const Circuit circuit = variance_ansatz(10, rng, options);
+
+  CircuitLintContext context;
+  context.observable_qubits = all_qubits(10);
+  context.global_cost = true;
+  context.differentiated_parameter = circuit.num_parameters() - 1;
+  EXPECT_FALSE(has_code(lint_circuit(circuit, context), "QN120"));
 }
 
 // --- QB003: redundant adjacent same-axis rotations ---------------------------
@@ -380,8 +497,8 @@ TEST(LintOptionsTest, PerRuleFindingCapFoldsOverflow) {
 
 TEST(LintRules, RegistryCoversAllCodesInOrder) {
   const std::vector<std::string> expected = {
-      "QB001", "QB002", "QB003", "QB004", "QB005",
-      "QB006", "QB007", "QB008", "QB009", "QB010"};
+      "QB001", "QB002", "QB003", "QB004", "QB005", "QB006",
+      "QB007", "QB008", "QB009", "QB010", "QB011", "QN120"};
   const auto& rules = lint_rules();
   ASSERT_EQ(rules.size(), expected.size());
   for (std::size_t i = 0; i < rules.size(); ++i) {

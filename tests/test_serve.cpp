@@ -304,6 +304,35 @@ TEST(ServeService, AdmissionRejectsBrokenSpecWithDiagnostics) {
   EXPECT_TRUE(service.worker_pids().empty());
 }
 
+TEST(ServeService, AdmissionRejectsProvablyBarrenSpecBeforeAnyFork) {
+  // QB011 (error): the closed-form variance model predicts ~2.9e-7 for
+  // the q = 10 global-cost grid point — below bp_variance_floor, so the
+  // run is provably barren and is refused statically, before any worker
+  // process exists.
+  RequestSpec spec = small_variance_spec();
+  spec.variance.qubit_counts = {10};
+  spec.variance.layers = 50;
+  spec.variance.cost = CostKind::kGlobalZero;
+  ExperimentService service(cli_service_options());
+  JsonValue rejection;
+  const RequestOutcome outcome = service.run_request(
+      spec, [&rejection](const JsonValue& event) {
+        if (event.at("event").as_string() == "rejected") rejection = event;
+      });
+  EXPECT_EQ(outcome.status, RequestOutcome::Status::kRejected);
+  EXPECT_EQ(outcome.exit_code, kExitAdmissionRejected);
+  ASSERT_TRUE(rejection.is_object());
+  bool saw_qb011_error = false;
+  const JsonValue& diags = rejection.at("findings").at("diagnostics");
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    saw_qb011_error = saw_qb011_error ||
+                      (diags.at(i).at("code").as_string() == "QB011" &&
+                       diags.at(i).at("severity").as_string() == "error");
+  }
+  EXPECT_TRUE(saw_qb011_error);
+  EXPECT_TRUE(service.worker_pids().empty());
+}
+
 TEST(ServeService, NonFiniteRetryUsesFallbackEngine) {
   RequestSpec spec = small_variance_spec();
   spec.variance.gradient_engine = "nan-at:0:parameter-shift";
